@@ -1,0 +1,21 @@
+"""E10 — the section 7 balanced-energy variant.
+
+Regenerates the plain-vs-balanced comparison: the balanced divisions must
+equalize every node's transmit share exactly and must not reduce the Jain
+fairness of simulated energy drain; the price is a longer frame.
+"""
+
+from repro.analysis.experiments import balanced_energy_study
+
+
+def test_balanced_energy(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: balanced_energy_study(n=25, d=4, alpha_t=3, alpha_r=10,
+                                      frames=2),
+        rounds=2, iterations=1)
+    rows = {r["variant"]: r for r in table.rows}
+    assert rows["balanced"]["tx_share_equal"]
+    assert not rows["plain"]["tx_share_equal"]
+    assert rows["balanced"]["jain_energy"] >= rows["plain"]["jain_energy"]
+    assert rows["balanced"]["frame"] >= rows["plain"]["frame"]
+    report(table, "balanced_energy")

@@ -1,0 +1,29 @@
+"""E14/E15 — the two assumptions the paper's guarantee rests on, probed.
+
+* **Drift** (E14): the paper assumes slot synchrony (section 1).  With
+  zero offset the simulator must reproduce the analytic guarantee exactly;
+  bounded clock offsets then erode it — the decay the table records is the
+  synchronization quality a real deployment must buy.
+* **Mobility** (E15): the reason for topology transparency.  One schedule
+  serves every snapshot of a random-waypoint field; every epoch must have
+  every directed link served within a frame.
+"""
+
+from repro.analysis.experiments import drift_robustness_study, mobility_study
+
+
+def test_drift_robustness(benchmark, report):
+    table = benchmark.pedantic(lambda: drift_robustness_study(frames=3),
+                               rounds=2, iterations=1)
+    rows = {r["max_offset"]: r for r in table.rows}
+    assert rows[0]["survival"] == 1.0          # perfect sync == the theory
+    assert rows[0]["successes"] == rows[0]["expected_synchronous"]
+    assert all(rows[o]["survival"] < 1.0 for o in rows if o != 0)
+    report(table, "drift_robustness")
+
+
+def test_mobility_transparency(benchmark, report):
+    table = benchmark.pedantic(lambda: mobility_study(epochs=5),
+                               rounds=2, iterations=1)
+    assert all(r["all_links_guaranteed"] for r in table.rows)
+    report(table, "mobility_transparency")

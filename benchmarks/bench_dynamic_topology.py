@@ -1,0 +1,18 @@
+"""E9 companion — topology churn: transparency vs colouring TDMA.
+
+Regenerates the dynamic-topology study: after in-class rewiring, the
+topology-transparent schedule keeps delivering while the topology-dependent
+colouring starts colliding.
+"""
+
+from repro.analysis.experiments import dynamic_topology_study
+
+
+def test_dynamic_topology(benchmark, report):
+    table = benchmark.pedantic(lambda: dynamic_topology_study(slots=8000),
+                               rounds=2, iterations=1)
+    rows = {(r["scheme"], r["phase"]): r for r in table.rows}
+    assert rows[("constructed TT", "after")]["delivery_ratio"] > 0.95
+    assert rows[("d2-colouring", "before")]["collisions"] == 0
+    assert rows[("d2-colouring", "after")]["collisions"] > 0
+    report(table, "dynamic_topology")

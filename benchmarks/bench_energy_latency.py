@@ -1,0 +1,30 @@
+"""E9 — the introduction's motivation, measured.
+
+Light Poisson traffic on a grid: always-on TDMA vs naive 1-of-k duty
+cycling vs slotted p-persistent ALOHA vs the paper's constructed schedule.
+Asserts the motivating ordering — naive duty cycling collapses from
+collision concentration, the unscheduled ALOHA delivers but never sleeps,
+and the topology-transparent construction keeps delivery at a fraction of
+the energy of either always-on scheme.
+"""
+
+from repro.analysis.experiments import energy_latency_study
+
+
+def test_energy_latency(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: energy_latency_study(rows=5, cols=5, rate=0.01, frames=40),
+        rounds=2, iterations=1)
+    rows = {r["scheme"]: r for r in table.rows}
+    tdma, naive, tt, aloha = (rows["always-on TDMA"], rows["naive 1-of-k"],
+                              rows["constructed TT"], rows["slotted ALOHA"])
+    assert tdma["collisions"] == 0
+    assert naive["collisions"] > 10 * tt["collisions"]
+    assert naive["delivery_ratio"] < 0.7 < tt["delivery_ratio"]
+    assert tt["awake_fraction"] < 0.5 < tdma["awake_fraction"]
+    assert tt["mj_per_delivered"] < tdma["mj_per_delivered"]
+    # ALOHA delivers fine at light load but never sleeps: worst energy.
+    assert aloha["delivery_ratio"] > 0.9
+    assert aloha["awake_fraction"] == 1.0
+    assert aloha["mj_per_delivered"] > 3 * tt["mj_per_delivered"]
+    report(table, "energy_latency")

@@ -1,0 +1,33 @@
+"""E5 — Figure 2 + Theorems 6-7: the construction on every substrate family.
+
+Regenerates the per-family construction table (frame lengths vs Theorem 7's
+exact formula and bound, transparency of source and output) and separately
+times the construction kernel alone at growing n.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig2_construction
+from repro.core.construction import construct
+from repro.core.nonsleeping import polynomial_schedule
+
+
+def test_fig2_families(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig2_construction(n=15, d=2, alpha_t=3, alpha_r=5),
+        rounds=3, iterations=1)
+    for r in table.rows:
+        assert r["alpha_caps_ok"]
+        assert r["source_tt"] is True
+        assert r["constructed_tt"] is True
+        assert r["L_constructed"] == r["formula_exact"] <= r["formula_bound"]
+    report(table, "fig2_construction")
+
+
+@pytest.mark.parametrize("n", [25, 64, 125, 343])
+def test_construction_kernel_scaling(benchmark, n):
+    """The Figure 2 algorithm itself (no verification) vs n."""
+    d = 3
+    source = polynomial_schedule(n, d)
+    built = benchmark(lambda: construct(source, d, 4, max(8, n // 4)))
+    assert built.is_alpha_schedule(4, max(8, n // 4))

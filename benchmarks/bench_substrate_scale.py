@@ -1,0 +1,49 @@
+"""E12 — substrate comparison and checker ablation.
+
+Part 1 regenerates the frame-length table of every source family over
+(n, D).  Part 2 is the DESIGN.md ablation: the cost of the exact
+topology-transparency decision (bitmask branch-and-bound) vs the
+definitional subset enumeration, and vs the sampled refuter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import substrate_scale
+from repro.core.nonsleeping import polynomial_schedule
+from repro.core.transparency import (
+    is_topology_transparent,
+    satisfies_requirement3,
+)
+
+
+def test_substrate_scale(benchmark, report):
+    table = benchmark(
+        lambda: substrate_scale(ns=(10, 25, 50, 100), ds=(2, 3, 5)))
+    for r in table.rows:
+        lengths = {k: r[f"{k}_L"] for k in ("tdma", "polynomial", "projective")}
+        if r["steiner_L"] != "-":
+            lengths["steiner"] = r["steiner_L"]
+        assert r[f"{r['best']}_L"] == min(lengths.values())
+    report(table, "substrate_scale")
+
+
+@pytest.mark.parametrize("n", [9, 16, 25])
+def test_exact_checker_scaling(benchmark, n):
+    sched = polynomial_schedule(n, 2)
+    assert benchmark(lambda: is_topology_transparent(sched, 2))
+
+
+def test_definitional_checker_cost(benchmark):
+    """The ablation baseline: Requirement 3 by subset enumeration."""
+    sched = polynomial_schedule(9, 2)
+    assert benchmark.pedantic(lambda: satisfies_requirement3(sched, 2),
+                              rounds=3, iterations=1)
+
+
+def test_sampled_checker_cost(benchmark):
+    sched = polynomial_schedule(25, 2)
+    rng = np.random.default_rng(0)
+    assert benchmark(
+        lambda: is_topology_transparent(sched, 2, method="sampled",
+                                        samples=500, rng=rng))

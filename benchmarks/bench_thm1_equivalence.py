@@ -1,0 +1,15 @@
+"""E11 — Theorem 1: Requirement 2 <=> Requirement 3.
+
+Times both definitional checkers over a batch of random schedules and
+asserts their verdicts coincide on every one.
+"""
+
+from repro.analysis.experiments import thm1_equivalence
+
+
+def test_thm1_equivalence(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: thm1_equivalence(trials=30, n=6, length=8, d=2),
+        rounds=3, iterations=1)
+    assert all(r["agree"] for r in table.rows)
+    report(table, "thm1_equivalence")

@@ -1,0 +1,31 @@
+"""E2 — Theorem 2: the closed form vs the literal Definition 2 sum.
+
+The closed form must agree *exactly* (rational arithmetic) on every random
+schedule; the benchmark also contrasts the two evaluation costs, which is
+the closed form's practical payoff (O(L) vs O(n^2 C(n-2, D-1) L)).
+"""
+
+from repro.analysis.experiments import random_schedule, thm2_validation
+from repro.core.throughput import average_throughput, average_throughput_bruteforce
+
+import numpy as np
+
+
+def test_thm2_agreement(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: thm2_validation(trials=12, n=7, length=6, d=3),
+        rounds=3, iterations=1)
+    assert all(r["equal"] for r in table.rows)
+    report(table, "thm2_closed_form")
+
+
+def test_thm2_closed_form_speed(benchmark):
+    sched = random_schedule(10, 12, np.random.default_rng(0))
+    result = benchmark(lambda: average_throughput(sched, 4))
+    assert result == average_throughput_bruteforce(sched, 4)
+
+
+def test_thm2_bruteforce_speed(benchmark):
+    sched = random_schedule(10, 12, np.random.default_rng(0))
+    benchmark.pedantic(
+        lambda: average_throughput_bruteforce(sched, 4), rounds=3, iterations=1)

@@ -1,0 +1,16 @@
+"""E3 — Theorem 3: the general average-throughput upper bound over (n, D).
+
+Regenerates the bound table (optimizer alpha_T*, tight bound Thr*, loose
+closed-form bound) and asserts the two structural claims: alpha_T*
+maximizes g, and the loose bound dominates the tight one.
+"""
+
+from repro.analysis.experiments import thm3_sweep
+
+
+def test_thm3_sweep(benchmark, report):
+    table = benchmark(
+        lambda: thm3_sweep(ns=(10, 16, 25, 40, 64, 100), ds=(2, 3, 4, 6)))
+    assert all(r["maximizer_verified"] for r in table.rows)
+    assert all(r["loose_dominates"] for r in table.rows)
+    report(table, "thm3_general_bound")

@@ -1,0 +1,30 @@
+"""E4 — Theorem 4: the (alpha_T, alpha_R) upper bound across energy budgets.
+
+Regenerates the bound surface over the two energy knobs and asserts its
+shape: linear growth in alpha_R, saturation in alpha_T at ~ (n - D)/D.
+"""
+
+from fractions import Fraction
+
+from repro.analysis.experiments import thm4_sweep
+
+
+def test_thm4_sweep(benchmark, report):
+    table = benchmark(
+        lambda: thm4_sweep(n=30, d=3, alpha_ts=(1, 2, 4, 6, 9, 12),
+                           alpha_rs=(2, 4, 8, 12, 18)))
+    rows = table.rows
+    # Linear in alpha_R at fixed alpha_T.
+    by_at = {}
+    for r in rows:
+        by_at.setdefault(r["alpha_t"], []).append(r)
+    for at, group in by_at.items():
+        base = group[0]
+        for r in group[1:]:
+            assert Fraction(r["bound"], base["bound"]) == \
+                Fraction(r["alpha_r"], base["alpha_r"])
+    # Saturation: alpha_T = 9 and alpha_T = 12 rows coincide (alpha = 9).
+    nine = {r["alpha_r"]: r["bound"] for r in rows if r["alpha_t"] == 9}
+    twelve = {r["alpha_r"]: r["bound"] for r in rows if r["alpha_t"] == 12}
+    assert nine == twelve
+    report(table, "thm4_duty_bound")

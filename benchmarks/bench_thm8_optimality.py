@@ -1,0 +1,22 @@
+"""E6 — Theorem 8: optimality ratio of the constructed schedule.
+
+Regenerates the measured Thr_ave/Thr* ratios against the theorem's lower
+bound across thick (polynomial) and thin (TDMA) sources, asserting the
+bound always holds and equality fires exactly under the paper's condition.
+"""
+
+from repro.analysis.experiments import thm8_optimality
+
+
+def test_thm8_optimality(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: thm8_optimality(n=25, d=3, alpha_r=6, alpha_ts=(2, 4, 7)),
+        rounds=3, iterations=1)
+    for r in table.rows:
+        assert r["bound_holds"]
+        if r["min_T"] >= r["alpha_t_star"]:
+            assert r["optimal"], \
+                f"thick source must attain the bound: {r}"
+        else:
+            assert not r["optimal"] or r["ratio"] == 1
+    report(table, "thm8_optimality")

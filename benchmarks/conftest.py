@@ -1,0 +1,28 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper artefact (see DESIGN.md's experiment
+index): it times the regeneration with pytest-benchmark, asserts the
+artefact's claim, prints the regenerated table, and persists it as CSV
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a result table to the real stdout and persist it as CSV."""
+
+    def _report(table, name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table.to_csv(RESULTS_DIR / f"{name}.csv")
+        sys.stdout.write("\n" + table.render() + "\n")
+
+    return _report

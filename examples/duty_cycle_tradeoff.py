@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The energy knob: sweeping (alpha_T, alpha_R) against throughput.
+
+Theorem 4 says the achievable average worst-case throughput of an
+(alpha_T, alpha_R)-schedule is linear in alpha_R and saturates in alpha_T
+around (n - D)/D.  This example makes that trade-off concrete for a
+50-node class: for each budget it builds the Figure 2 schedule, reports
+its awake fraction (energy) and exact throughput, and marks the points
+where the construction provably attains the Theorem 4 optimum
+(Theorem 8's equality condition).
+
+Run:  python examples/duty_cycle_tradeoff.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    average_throughput,
+    constrained_upper_bound,
+    construct,
+    optimal_transmitters_constrained,
+    polynomial_schedule,
+)
+from repro.analysis import Table
+
+
+def main() -> None:
+    n, d = 50, 3
+    source = polynomial_schedule(n, d)
+    print(f"Class N_{n}^{d}; source: {source}")
+    print(f"Source min per-slot transmitters: {min(source.tx_counts)} "
+          f"(Theorem 8 optimality needs >= alpha_T*)")
+    print()
+
+    table = Table("alpha_t", "alpha_r", "alpha_t_star", "L", "awake_frac",
+                  "throughput", "thm4_bound", "optimal",
+                  title="Energy budget vs achieved worst-case throughput")
+    for alpha_t in (2, 4, 7, 10):
+        for alpha_r in (5, 10, 20, 40):
+            if alpha_t + alpha_r > n:
+                continue
+            duty = construct(source, d, alpha_t, alpha_r)
+            thr = average_throughput(duty, d)
+            bound = constrained_upper_bound(n, d, alpha_t, alpha_r)
+            table.row(
+                alpha_t=alpha_t,
+                alpha_r=alpha_r,
+                alpha_t_star=optimal_transmitters_constrained(n, d, alpha_t),
+                L=duty.frame_length,
+                awake_frac=float(duty.average_duty_cycle()),
+                throughput=thr,
+                thm4_bound=bound,
+                optimal=(Fraction(thr, bound) == 1),
+            )
+    print(table.render())
+    print()
+    print("Reading the table: throughput scales ~linearly with alpha_R")
+    print("(more listeners per slot).  Rows with alpha_T <= 7 are provably")
+    print("optimal because the source satisfies min|T[i]| = 7 >= alpha_T*")
+    print("(Theorem 8's equality condition); at alpha_T = 10 the source's")
+    print("slots are too thin to fill the budget and the ratio drops below 1")
+    print("— exactly the degradation Theorem 8 prices in.")
+
+
+if __name__ == "__main__":
+    main()

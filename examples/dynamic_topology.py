@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Why topology transparency: surviving churn without rescheduling.
+
+A topology-dependent TDMA (greedy distance-2 colouring) is shorter-framed
+and collision-free — for the one topology it was computed on.  This
+example runs periodic sensing on a grid, then rewires edges mid-mission
+(nodes moved within the class bound N_16^4) and keeps both schedules
+unchanged, refreshing only the routing tables:
+
+* the colouring schedule starts colliding on the new edges and loses
+  reports deterministically, until a (costly, global) recolouring could
+  be disseminated;
+* the constructed topology-transparent schedule keeps every link's
+  per-frame guarantee, because the guarantee quantifies over *every*
+  topology in the class.
+
+Run:  python examples/dynamic_topology.py
+"""
+
+import numpy as np
+
+from repro import construct, is_topology_transparent, polynomial_schedule
+from repro.analysis.experiments import _rewire  # reuse the studied rewiring
+from repro.baselines import coloring_schedule
+from repro.simulation import PeriodicSensingTraffic, Simulator
+from repro.simulation.routing import sink_tree
+from repro.simulation.topology import grid
+
+
+def run_phase(schedule, topo, period, slots):
+    traffic = PeriodicSensingTraffic(topo, sink=0, period=period)
+    sim = Simulator(topo, schedule, traffic, next_hops=sink_tree(topo, 0))
+    m = sim.run_slots(slots)
+    return m.delivery_ratio(), m.total_collisions(), m.mean_latency()
+
+
+def main() -> None:
+    rows = cols = 4
+    n, d = rows * cols, 4
+    rng = np.random.default_rng(9)
+    before = grid(rows, cols)
+    after = _rewire(before, d, count=6, rng=rng)
+    changed = len(before.edges ^ after.edges)
+    print(f"Grid {rows}x{cols}; mid-mission rewiring touches {changed} edges "
+          f"(max degree stays <= {d}).")
+    print()
+
+    tt = construct(polynomial_schedule(n, d), d, alpha_t=4, alpha_r=8)
+    colored = coloring_schedule(before)
+    print(f"Transparent schedule: L={tt.frame_length}, "
+          f"TT for the whole class: {is_topology_transparent(tt, d)}")
+    print(f"Colouring schedule:   L={colored.frame_length}, computed for the "
+          "'before' topology only")
+    print()
+
+    period, slots = 400, 8000
+    print(f"{'scheme':<18}{'phase':<9}{'delivery':>9}{'collisions':>12}"
+          f"{'latency':>9}")
+    for name, sched in (("transparent", tt), ("d2-colouring", colored)):
+        for phase, topo in (("before", before), ("after", after)):
+            ratio, coll, lat = run_phase(sched, topo, period, slots)
+            print(f"{name:<18}{phase:<9}{ratio:>9.3f}{coll:>12}{lat:>9.1f}")
+    print()
+    print("The colouring's collision-freedom is a property of one topology;")
+    print("the transparent schedule's guarantee is a property of the CLASS.")
+
+
+if __name__ == "__main__":
+    main()

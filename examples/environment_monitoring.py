@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Environment monitoring: periodic sensing to a sink on a unit-disk field.
+
+The canonical WSN workload of the paper's introduction: battery-powered
+nodes scattered over a field report readings to a sink every few seconds.
+This example deploys 36 nodes, builds a topology-transparent duty-cycled
+schedule for the class N_36^4 — *without looking at the deployed
+topology* — and compares it against always-on TDMA on the same field:
+
+* delivery ratio and end-to-end latency (slots);
+* awake fraction and energy per delivered report;
+* projected network lifetime for a 2xAA-class battery budget.
+
+Run:  python examples/environment_monitoring.py
+"""
+
+import numpy as np
+
+from repro import construct, polynomial_schedule, tdma_schedule
+from repro.simulation import (
+    EnergyModel,
+    PeriodicSensingTraffic,
+    Simulator,
+)
+from repro.simulation.routing import sink_tree
+from repro.simulation.topology import unit_disk
+
+
+def run_scheme(name, schedule, topo, sink, period, slots):
+    traffic = PeriodicSensingTraffic(topo, sink=sink, period=period)
+    sim = Simulator(topo, schedule, traffic,
+                    energy_model=EnergyModel(),
+                    next_hops=sink_tree(topo, sink))
+    metrics = sim.run_slots(slots)
+    # 2xAA at 3 V ~ 2500 mAh ~ 27 kJ; per-node budget in millijoules.
+    budget_mj = 27_000_000.0
+    lifetime_days = sim.energy.lifetime_slots(budget_mj) * 0.01 / 86_400
+    print(f"  {name}")
+    print(f"    frame length           : {schedule.frame_length} slots")
+    print(f"    delivery ratio         : {metrics.delivery_ratio():.3f}")
+    print(f"    mean / p95 latency     : {metrics.mean_latency():.0f} / "
+          f"{metrics.latency_percentile(95):.0f} slots")
+    print(f"    awake fraction         : {sim.energy.awake_fraction():.1%}")
+    delivered = metrics.delivered or 1
+    print(f"    energy per delivered   : {sim.energy.total_mj() / delivered:.2f} mJ")
+    print(f"    projected lifetime     : {lifetime_days:.0f} days "
+          "(first node dies, 10 ms slots)")
+    print()
+
+
+def main() -> None:
+    n, d = 36, 4
+    rng = np.random.default_rng(2026)
+    # Deploy until the field is connected (sparse fields can fragment).
+    while True:
+        topo = unit_disk(n, d, radius=0.32, rng=rng)
+        if topo.is_connected():
+            break
+    sink = 0
+    print(f"Deployed {n}-node unit-disk field, max degree "
+          f"{topo.max_degree} (class N_{n}^{d}), sink = node {sink}")
+    print()
+
+    period = 1200         # one report per node per 1200 slots (12 s at 10 ms)
+    slots = 48_000
+
+    # The paper's pipeline: TT non-sleeping substrate -> Figure 2.
+    source = polynomial_schedule(n, d)
+    duty = construct(source, d, alpha_t=4, alpha_r=10)
+
+    print("Schemes under one report / node / 12 s:")
+    run_scheme("always-on TDMA (baseline)", tdma_schedule(n), topo, sink,
+               period, slots)
+    run_scheme("topology-transparent duty cycling (this paper)", duty, topo,
+               sink, period, slots)
+
+    print("The duty-cycled schedule was built from (n, D) alone: redeploying,")
+    print("adding or moving nodes needs NO schedule recomputation as long as")
+    print("the field stays inside the class N_36^4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Dual use of the substrate: diagnosing jammed slots by group testing.
+
+The same cover-free families that make schedules topology-transparent are
+d-disjunct group-testing designs (the paper traces them to the group-
+testing literature).  Practical payoff for a WSN operator: suppose up to
+``d`` of the frame's slots are being jammed by an interferer.  Each node
+transmits in the slots of its block; after one frame of per-NODE delivery
+observations ("did anything from node x get through clean?") the operator
+can identify exactly WHICH slots are jammed — without any per-slot
+spectrum sensing — by running the group-testing decoder on the dual
+family (slots pooled by the nodes that use them).
+
+This example jams slots at random, simulates the observation vector, and
+recovers the jammed set exactly.
+
+Run:  python examples/jammed_slot_diagnosis.py
+"""
+
+import numpy as np
+
+from repro.combinatorics.coverfree import CoverFreeFamily
+from repro.combinatorics.grouptesting import decode, run_tests
+
+
+def dual_family(family: CoverFreeFamily) -> CoverFreeFamily:
+    """Swap roles: items = slots, pools = nodes.
+
+    Block of slot ``s`` is the set of nodes transmitting in ``s``; a node
+    "tests positive" when at least one of its slots is jammed (it loses
+    traffic it should have delivered).
+    """
+    blocks = []
+    for s in range(family.ground):
+        mask = 0
+        for node, node_block in enumerate(family.blocks):
+            if node_block >> s & 1:
+                mask |= 1 << node
+        blocks.append(mask)
+    return CoverFreeFamily(family.size, tuple(blocks))
+
+
+def main() -> None:
+    # The polynomial family for N_25^3: 25 nodes, 25 slots, each node in
+    # 5 slots, each slot used by 5 nodes, pairwise overlap <= 1.
+    family = CoverFreeFamily.from_polynomial_code(5, 1, count=25)
+    dual = dual_family(family)
+    d = 3  # diagnosing up to 3 jammed slots
+    print(f"Frame of {family.ground} slots, {family.size} nodes; "
+          f"slot-dual family is {d}-cover-free: {dual.is_d_cover_free(d)}")
+    print()
+
+    rng = np.random.default_rng(42)
+    trials = 5
+    for trial in range(trials):
+        jammed = set(int(s) for s in
+                     rng.choice(family.ground, size=d, replace=False))
+        # Observation: node tests positive iff a jammed slot touches it.
+        observations = run_tests(dual, jammed)
+        positives = [x for x in range(dual.ground) if observations >> x & 1]
+        diagnosed = decode(dual, observations)
+        status = "RECOVERED" if diagnosed == jammed else "MISMATCH"
+        print(f"trial {trial}: jammed slots {sorted(jammed)} -> "
+              f"{len(positives)}/{dual.ground} nodes affected -> "
+              f"diagnosed {sorted(diagnosed)}  [{status}]")
+        assert diagnosed == jammed
+    print()
+    print("Up to 3 jammed slots pinpointed from 25 one-bit per-node")
+    print("observations — no spectrum sensing, same combinatorics that")
+    print("guarantees the schedule's topology transparency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A mobile sensor fleet: one schedule, every topology the mission visits.
+
+Robotic-exploration-style deployment (one of the application domains the
+paper's introduction lists): nodes move continuously, so the connectivity
+graph is different every time you look.  A topology-dependent schedule
+would need global recomputation and dissemination at every change; the
+topology-transparent schedule is computed ONCE from the class bound
+(n, D) and keeps its per-frame delivery guarantee at every instant the
+fleet stays inside the class.
+
+This example drives a random-waypoint fleet across epochs and verifies,
+per epoch, that every directed link of the current topology gets its
+guaranteed slot — then runs a convergecast workload across the same
+motion to show end-to-end service.
+
+Run:  python examples/mobile_fleet.py
+"""
+
+import numpy as np
+
+from repro import construct, polynomial_schedule
+from repro.simulation.mobility import RandomWaypointMobility, run_with_mobility
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import PeriodicSensingTraffic, SaturatedTraffic
+
+
+def main() -> None:
+    n, d = 16, 4
+    schedule = construct(polynomial_schedule(n, d), d, alpha_t=4, alpha_r=6)
+    print(f"Fleet of {n} nodes, degree bound {d}; ONE schedule for the whole "
+          f"mission: L={schedule.frame_length}, "
+          f"duty={float(schedule.average_duty_cycle()):.0%}")
+    print()
+
+    # Phase 1: per-epoch guarantee check under worst-case traffic.
+    mob = RandomWaypointMobility(n=n, d=d, radius=0.45, speed=0.15,
+                                 rng=np.random.default_rng(7))
+    print(f"{'epoch':<7}{'edges':<7}{'max deg':<9}{'links served':<14}")
+    for epoch, topo in enumerate(mob.trajectory(6)):
+        sim = Simulator(topo, schedule, SaturatedTraffic(topo))
+        metrics = sim.run(frames=1)
+        links = topo.directed_links()
+        served = sum(1 for x, y in links
+                     if metrics.successes.get((x, y), 0) >= 1)
+        flag = "" if served == len(links) else "   <-- GUARANTEE BROKEN"
+        print(f"{epoch:<7}{len(topo.edges):<7}{topo.max_degree:<9}"
+              f"{served}/{len(links):<12}{flag}")
+    print()
+
+    # Phase 2: convergecast reports while the fleet keeps moving.
+    mob2 = RandomWaypointMobility(n=n, d=d, radius=0.45, speed=0.1,
+                                  rng=np.random.default_rng(11))
+    metrics = run_with_mobility(
+        schedule,
+        lambda topo: PeriodicSensingTraffic(topo, sink=0, period=400),
+        mob2, epochs=5, slots_per_epoch=2000, sink=0)
+    print("Convergecast across 5 motion epochs (routing refreshed per epoch,")
+    print("schedule untouched):")
+    print(f"  reports generated : {metrics.generated}")
+    print(f"  delivered         : {metrics.delivered} "
+          f"({metrics.delivery_ratio():.1%})")
+    print(f"  mean latency      : {metrics.mean_latency():.0f} slots")
+    print()
+    print("No recomputation, no dissemination protocol, no outage windows —")
+    print("the guarantee is a property of the class N_16^4, not of any one")
+    print("snapshot the fleet happens to form.")
+
+
+if __name__ == "__main__":
+    main()

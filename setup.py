@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable-install path (which shells out to ``bdist_wheel``) is
+unavailable; this ``setup.py`` enables the legacy ``pip install -e .
+--no-use-pep517 --no-build-isolation`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

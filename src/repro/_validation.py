@@ -1,0 +1,87 @@
+"""Shared argument-validation helpers.
+
+Every public entry point of :mod:`repro` validates its arguments through the
+small helpers in this module so that error messages are uniform and the
+validation logic is tested in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_int(value: object, name: str, *, minimum: int | None = None,
+              maximum: int | None = None) -> int:
+    """Validate that *value* is an ``int`` within ``[minimum, maximum]``.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``: a caller
+    passing ``True`` for a count is almost certainly a bug.
+
+    Returns the validated integer so call sites can write
+    ``n = check_int(n, "n", minimum=1)``.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_node(value: object, name: str, n: int) -> int:
+    """Validate a node identifier: an int in ``[0, n)``."""
+    return check_int(value, name, minimum=0, maximum=n - 1)
+
+
+def check_nodes(values: Iterable[object], name: str, n: int) -> frozenset[int]:
+    """Validate an iterable of node identifiers, returning a frozenset."""
+    out = []
+    for i, v in enumerate(values):
+        out.append(check_node(v, f"{name}[{i}]", n))
+    result = frozenset(out)
+    if len(result) != len(out):
+        raise ValueError(f"{name} contains duplicate node identifiers")
+    return result
+
+
+def check_class_params(n: int, d: int) -> tuple[int, int]:
+    """Validate the network-class parameters ``(n, D)`` of ``N_n^D``.
+
+    The paper (section 3) requires ``2 <= D <= n``; in addition every
+    requirement quantifies over a set ``Y`` of ``D`` nodes drawn from
+    ``V_n - {x}``, which needs ``D <= n - 1``.
+    """
+    n = check_int(n, "n", minimum=3)
+    d = check_int(d, "D", minimum=2, maximum=n - 1)
+    return n, d
+
+
+def check_probability(value: object, name: str) -> float:
+    """Validate a probability in ``[0, 1]``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive_float(value: object, name: str) -> float:
+    """Validate a strictly positive finite float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}")
+    value = float(value)
+    if not value > 0.0 or value != value or value in (float("inf"),):
+        raise ValueError(f"{name} must be a positive finite float, got {value}")
+    return value
+
+
+def check_nonnegative_float(value: object, name: str) -> float:
+    """Validate a non-negative finite float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}")
+    value = float(value)
+    if not value >= 0.0 or value == float("inf"):
+        raise ValueError(f"{name} must be a non-negative finite float, got {value}")
+    return value

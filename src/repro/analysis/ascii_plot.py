@@ -1,0 +1,99 @@
+"""Text-mode figures: bar charts and scatter/line plots without matplotlib.
+
+The benchmark harness regenerates the paper's artefacts as tables; for the
+curve-shaped ones (Theorem 3/4 bounds, the latency-load hockey stick, the
+drift decay) a picture communicates the *shape* the reproduction is
+supposed to match.  These renderers draw into plain character grids so the
+figures live in terminals, logs and EXPERIMENTS.md alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro._validation import check_int
+
+__all__ = ["bar_chart", "line_plot"]
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 50, title: str | None = None) -> str:
+    """Horizontal bar chart; bars scaled to the maximum value.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=10))  # doctest: +SKIP
+    """
+    width = check_int(width, "width", minimum=1)
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ValueError("nothing to plot")
+    vals = [float(v) for v in values]
+    if any(v < 0 for v in vals):
+        raise ValueError("bar_chart takes non-negative values")
+    peak = max(vals) or 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for lab, v in zip(labels, vals):
+        bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
+        lines.append(f"{str(lab).rjust(label_w)} | {bar.ljust(width)} {v:g}")
+    return "\n".join(lines)
+
+
+def line_plot(xs: Sequence[float], ys: Sequence[float], *,
+              width: int = 60, height: int = 15,
+              title: str | None = None, log_y: bool = False) -> str:
+    """Scatter/line plot on a character grid with axis annotations.
+
+    Points are marked ``*``; x is scaled linearly, y linearly or
+    logarithmically (``log_y=True``, requires positive ys).  Axis extremes
+    are printed on the frame.
+    """
+    width = check_int(width, "width", minimum=2)
+    height = check_int(height, "height", minimum=2)
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs but {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    import math
+
+    fx = [float(x) for x in xs]
+    fy = [float(y) for y in ys]
+    if log_y:
+        if any(y <= 0 for y in fy):
+            raise ValueError("log_y requires positive y values")
+        fy = [math.log10(y) for y in fy]
+    x_lo, x_hi = min(fx), max(fx)
+    y_lo, y_hi = min(fy), max(fy)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(fx, fy):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+
+    def fmt(v: float) -> str:
+        return f"{10**v:g}" if log_y else f"{v:g}"
+
+    top_label = fmt(y_hi)
+    bot_label = fmt(y_lo)
+    label_w = max(len(top_label), len(bot_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bot_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(" " * label_w + f"  {x_lo:g}".ljust(width // 2)
+                 + f"{x_hi:g}".rjust(width // 2))
+    return "\n".join(lines)

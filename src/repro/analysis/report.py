@@ -1,0 +1,158 @@
+"""Schedule certification reports.
+
+A deployment wants one artifact that says what a schedule guarantees and
+costs.  :func:`certification_report` gathers everything this library can
+establish about a schedule for a class ``N_n^D`` — transparency (with
+witness on failure), exact throughput quantities against their theorem
+bounds, duty-cycle and per-node share statistics, frame/latency bounds —
+and renders it as markdown.  The CLI exposes it as ``python -m repro
+report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro._validation import check_class_params
+from repro.core.latency import frame_delay_bound, worst_link_access_delay
+from repro.core.schedule import Schedule
+from repro.core.throughput import (
+    average_throughput,
+    constrained_upper_bound,
+    general_upper_bound,
+    min_throughput,
+)
+from repro.core.transparency import (
+    find_transparency_violation,
+    is_topology_transparent,
+)
+
+__all__ = ["CertificationReport", "certification_report"]
+
+
+@dataclass(frozen=True)
+class CertificationReport:
+    """Everything the library can certify about one schedule.
+
+    Produced by :func:`certification_report`; render with
+    :meth:`to_markdown`.
+    """
+
+    n: int
+    d: int
+    frame_length: int
+    transparent: bool
+    violation: tuple[int, int, tuple[int, ...]] | None
+    alpha_t: int
+    alpha_r: int
+    average_throughput: Fraction
+    minimum_throughput: Fraction
+    theorem4_bound: Fraction
+    general_bound: Fraction
+    optimality_ratio: Fraction
+    average_duty_cycle: Fraction
+    duty_min: Fraction
+    duty_max: Fraction
+    frame_delay_bound: int
+    worst_access_delay: int | None
+    extras: dict[str, Any]
+
+    def to_markdown(self) -> str:
+        """Render the certificate as a markdown document."""
+        lines = [
+            f"# Schedule certificate — class N_{self.n}^{self.d}",
+            "",
+            f"- frame length: **{self.frame_length}** slots",
+            f"- per-slot caps: alpha_T = {self.alpha_t}, "
+            f"alpha_R = {self.alpha_r}",
+            "",
+            "## Topology transparency",
+            "",
+        ]
+        if self.transparent:
+            lines.append(
+                "**TRANSPARENT**: every node reaches every possible "
+                "neighbour collision-free at least once per frame, in every "
+                f"network with <= {self.n} nodes and degree <= {self.d}.")
+        else:
+            lines.append(
+                f"**NOT transparent.** Witness: with receiver "
+                f"{self.violation[1]} surrounded by interferers "        # type: ignore[index]
+                f"{self.violation[2]}, node {self.violation[0]} has no "  # type: ignore[index]
+                "collision-free slot.")
+        lines += [
+            "",
+            "## Worst-case throughput (exact rationals)",
+            "",
+            f"- average (Definition 2 / Theorem 2): "
+            f"**{float(self.average_throughput):.6f}** "
+            f"(= {self.average_throughput})",
+            f"- Theorem 4 bound for these caps: "
+            f"{float(self.theorem4_bound):.6f}",
+            f"- optimality ratio: **{float(self.optimality_ratio):.4f}**"
+            + (" — provably optimal (Theorem 8 equality)"
+               if self.optimality_ratio == 1 else ""),
+            f"- minimum (Definition 1, adversarial neighbourhood): "
+            f"{float(self.minimum_throughput):.6f}",
+            f"- unconstrained optimum (Theorem 3): "
+            f"{float(self.general_bound):.6f}",
+            "",
+            "## Energy",
+            "",
+            f"- average duty cycle: **{float(self.average_duty_cycle):.1%}**",
+            f"- per-node awake share range: "
+            f"[{float(self.duty_min):.1%}, {float(self.duty_max):.1%}]",
+            "",
+            "## Latency",
+            "",
+            f"- generic per-hop bound (2L-1): {self.frame_delay_bound} slots",
+        ]
+        if self.worst_access_delay is not None:
+            lines.append(
+                f"- exact worst-case per-hop access delay: "
+                f"**{self.worst_access_delay}** slots")
+        for key, value in self.extras.items():
+            lines.append(f"- {key}: {value}")
+        return "\n".join(lines) + "\n"
+
+
+def certification_report(schedule: Schedule, d: int, *,
+                         exact_latency: bool = False,
+                         extras: dict[str, Any] | None = None
+                         ) -> CertificationReport:
+    """Certify *schedule* for the class ``N_{schedule.n}^d``.
+
+    ``exact_latency=True`` additionally computes the exact worst-case
+    access delay (exponential in ``d``; small instances only).
+    """
+    n, d = check_class_params(schedule.n, d)
+    alpha_t = max(schedule.tx_counts)
+    alpha_r = max(schedule.rx_counts)
+    transparent = is_topology_transparent(schedule, d)
+    violation = None if transparent else find_transparency_violation(schedule, d)
+    avg = average_throughput(schedule, d)
+    bound = constrained_upper_bound(n, d, max(alpha_t, 1), max(alpha_r, 1))
+    duties = schedule.duty_cycles()
+    return CertificationReport(
+        n=n,
+        d=d,
+        frame_length=schedule.frame_length,
+        transparent=transparent,
+        violation=violation,
+        alpha_t=alpha_t,
+        alpha_r=alpha_r,
+        average_throughput=avg,
+        minimum_throughput=min_throughput(schedule, d),
+        theorem4_bound=bound,
+        general_bound=general_upper_bound(n, d),
+        optimality_ratio=Fraction(avg, bound) if bound else Fraction(0),
+        average_duty_cycle=schedule.average_duty_cycle(),
+        duty_min=min(duties),
+        duty_max=max(duties),
+        frame_delay_bound=frame_delay_bound(schedule),
+        worst_access_delay=(worst_link_access_delay(schedule, d)
+                            if exact_latency and transparent else None),
+        extras=dict(extras or {}),
+    )

@@ -1,0 +1,36 @@
+"""Cartesian parameter-sweep runner shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["sweep"]
+
+
+def sweep(fn: Callable[..., Mapping[str, Any] | None],
+          **grid: Iterable[Any]) -> list[dict[str, Any]]:
+    """Call ``fn`` on every combination of the keyword grids.
+
+    *fn* receives one keyword per grid and returns a mapping of result
+    fields (or None to skip the combination, e.g. for infeasible
+    parameters).  Each record in the returned list contains the grid point
+    merged with the result fields; result fields may not shadow grid keys.
+
+    >>> sweep(lambda n, d: {"sum": n + d}, n=[1, 2], d=[10])
+    [{'n': 1, 'd': 10, 'sum': 11}, {'n': 2, 'd': 10, 'sum': 12}]
+    """
+    if not grid:
+        raise ValueError("sweep needs at least one parameter grid")
+    keys = list(grid)
+    records: list[dict[str, Any]] = []
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        point = dict(zip(keys, combo))
+        result = fn(**point)
+        if result is None:
+            continue
+        clash = set(result) & set(point)
+        if clash:
+            raise ValueError(f"result fields {clash} shadow sweep parameters")
+        records.append({**point, **result})
+    return records

@@ -1,0 +1,96 @@
+"""Lightweight result tables for the benchmark harness.
+
+The paper is a theory paper, so "regenerating a table/figure" here means
+printing the theorem's quantities over a parameter sweep in a fixed,
+readable layout and (optionally) persisting them as CSV next to the
+benchmark output.  No plotting dependency is assumed.
+"""
+
+from __future__ import annotations
+
+import csv
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    """Render a cell: Fractions as float with the exact value alongside."""
+    if isinstance(value, Fraction):
+        return f"{float(value):.6g}"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+class Table:
+    """An ordered list of records with a fixed column set.
+
+    >>> t = Table("n", "D", "bound")
+    >>> t.row(n=10, D=2, bound=0.25)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, *columns: str, title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("duplicate column names")
+        self.columns: tuple[str, ...] = columns
+        self.title = title
+        self.rows: list[dict[str, Any]] = []
+
+    def row(self, **values: Any) -> None:
+        """Append a record; keys must match the column set exactly."""
+        if set(values) != set(self.columns):
+            missing = set(self.columns) - set(values)
+            extra = set(values) - set(self.columns)
+            raise ValueError(f"row mismatch: missing {missing or '{}'}, extra {extra or '{}'}")
+        self.rows.append(values)
+
+    def extend(self, records: Iterable[dict[str, Any]]) -> None:
+        """Append many records."""
+        for r in records:
+            self.row(**r)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [r[name] for r in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        headers = list(self.columns)
+        body = [[_fmt(r[c]) for c in headers] for r in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Persist as CSV (floats for Fractions)."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            for r in self.rows:
+                writer.writerow([_fmt(r[c]) for c in self.columns])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table(columns={self.columns}, rows={len(self.rows)})"

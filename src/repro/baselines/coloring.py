@@ -1,0 +1,65 @@
+"""Topology-dependent TDMA from a greedy distance-2 colouring.
+
+The classical alternative to topology transparency: compute a colouring of
+the *square* of the network (nodes at distance <= 2 get distinct colours)
+and give each colour class its own slot.  Within the topology it was
+computed for, every transmission is collision-free at every neighbour and
+the frame is as short as the colouring is good — but the schedule encodes
+the topology, so any change can silently break links until a recolouring
+is disseminated.  Experiment E9's dynamic scenario measures exactly that
+failure next to the topology-transparent construction's unbroken service.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.simulation.topology import Topology
+
+__all__ = ["distance2_coloring", "coloring_schedule"]
+
+
+def distance2_coloring(topology: Topology) -> list[int]:
+    """Greedy colouring of the topology's square, largest-degree-first.
+
+    Returns a colour per node such that any two nodes at hop distance 1 or
+    2 receive distinct colours — the standard sufficient condition for
+    collision-free TDMA (no receiver hears two same-slot transmitters).
+    """
+    n = topology.n
+    two_hop: list[set[int]] = [set() for _ in range(n)]
+    for x in range(n):
+        for y in topology.neighbors(x):
+            two_hop[x].add(y)
+            for z in topology.neighbors(y):
+                if z != x:
+                    two_hop[x].add(z)
+    order = sorted(range(n), key=lambda x: -len(two_hop[x]))
+    colors = [-1] * n
+    for x in order:
+        used = {colors[y] for y in two_hop[x] if colors[y] >= 0}
+        c = 0
+        while c in used:
+            c += 1
+        colors[x] = c
+    return colors
+
+
+def coloring_schedule(topology: Topology, n: int | None = None) -> Schedule:
+    """Non-sleeping TDMA whose slot ``c`` transmitters are colour class ``c``.
+
+    *n* (defaulting to ``topology.n``) sets the schedule's node-id space;
+    ids beyond the topology never transmit.  The result is collision-free
+    on *this* topology but carries no guarantee on any other — it is the
+    non-transparent baseline.
+    """
+    colors = distance2_coloring(topology)
+    num_colors = max(colors) + 1 if colors else 1
+    n = topology.n if n is None else n
+    if n < topology.n:
+        raise ValueError(f"n={n} smaller than the topology ({topology.n} nodes)")
+    tx = [0] * num_colors
+    for x, c in enumerate(colors):
+        tx[c] |= 1 << x
+    full = (1 << n) - 1
+    rx = tuple(full & ~t for t in tx)
+    return Schedule(n, tuple(tx), rx)

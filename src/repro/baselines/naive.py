@@ -1,0 +1,57 @@
+"""Naive k-slot duty cycling (the introduction's cautionary baseline).
+
+"Consider a network in which each node is scheduled to be awake in one of
+k slots.  Since a node has to wait until the receiver wakes up before it
+can forward the packet, transmissions from neighbors, which were
+distributed in k slots, now happen in one slot, making a collision very
+likely."  — section 1.
+
+This module builds exactly that schedule: each node picks (or is assigned)
+one wake slot out of ``k``; in its wake slot it listens, and in every other
+slot it may transmit (to reach neighbours awake then).  No
+topology-transparency guarantee holds — experiment E9 measures how badly
+it collides compared to the paper's construction at a matched duty cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_int
+from repro.core.schedule import Schedule
+
+__all__ = ["naive_duty_cycle"]
+
+
+def naive_duty_cycle(n: int, k: int, *, offsets: list[int] | None = None,
+                     rng: np.random.Generator | None = None) -> Schedule:
+    """The naive scheme: node *x* listens in slot ``offset[x]``, may transmit
+    in the other ``k - 1`` slots of each frame.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    k:
+        Frame length (the duty-cycle knob: each node listens ``1/k`` of
+        the time).
+    offsets:
+        Per-node wake slots in ``[0, k)``; random when omitted.
+    """
+    n = check_int(n, "n", minimum=1)
+    k = check_int(k, "k", minimum=2)
+    if offsets is None:
+        rng = rng if rng is not None else np.random.default_rng()
+        offsets = [int(o) for o in rng.integers(0, k, size=n)]
+    if len(offsets) != n:
+        raise ValueError(f"need {n} offsets, got {len(offsets)}")
+    for i, o in enumerate(offsets):
+        check_int(o, f"offsets[{i}]", minimum=0, maximum=k - 1)
+    tx = [0] * k
+    rx = [0] * k
+    for x, o in enumerate(offsets):
+        rx[o] |= 1 << x
+        for slot in range(k):
+            if slot != o:
+                tx[slot] |= 1 << x
+    return Schedule(n, tuple(tx), tuple(rx))

@@ -1,0 +1,335 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the deployment workflow without
+writing Python:
+
+=============  =============================================================
+``build``      build a topology-transparent duty-cycled schedule for
+               ``(n, D, alpha_T, alpha_R)`` and write it as JSON
+``plan``       search families and budgets: ``(n, D, max duty)`` -> JSON
+``verify``     exact topology-transparency decision for a schedule file
+``analyze``    throughput/duty/latency report for a schedule file
+``simulate``   run the slot simulator on a generated topology
+``families``   frame-length table of every substrate family for (n, D)
+=============  =============================================================
+
+Every command reads/writes the versioned JSON format of
+:mod:`repro.core.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Topology-transparent duty cycling (IPPS 2007) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="construct a duty-cycled TT schedule")
+    p.add_argument("-n", type=int, required=True, help="class bound on nodes")
+    p.add_argument("-d", type=int, required=True, help="class bound on degree")
+    p.add_argument("--alpha-t", type=int, required=True)
+    p.add_argument("--alpha-r", type=int, required=True)
+    p.add_argument("--family", default="auto",
+                   choices=["auto", "tdma", "polynomial", "steiner",
+                            "projective", "mols"])
+    p.add_argument("--balanced", action="store_true",
+                   help="use the balanced-energy divisions")
+    p.add_argument("-o", "--output", required=True, help="output JSON path")
+
+    p = sub.add_parser("plan", help="pick family and budget from a duty cap")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-d", type=int, required=True)
+    p.add_argument("--max-duty", type=float, required=True)
+    p.add_argument("--balanced", action="store_true")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("verify", help="exact transparency decision")
+    p.add_argument("schedule", help="schedule JSON path")
+    p.add_argument("-d", type=int, required=True)
+
+    p = sub.add_parser("analyze", help="throughput / duty / latency report")
+    p.add_argument("schedule")
+    p.add_argument("-d", type=int, required=True)
+    p.add_argument("--latency", action="store_true",
+                   help="also compute the exact worst-case per-hop delay "
+                        "(exponential in D; small instances only)")
+
+    p = sub.add_parser("simulate", help="run the slot simulator")
+    p.add_argument("schedule")
+    p.add_argument("--topology", default="grid",
+                   choices=["grid", "ring", "unit-disk", "regular"])
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("-d", type=int, required=True)
+    p.add_argument("--frames", type=int, default=10)
+    p.add_argument("--traffic", default="saturated",
+                   choices=["saturated", "poisson", "sensing"])
+    p.add_argument("--rate", type=float, default=0.01,
+                   help="poisson arrival rate (packets/node/slot)")
+    p.add_argument("--period", type=int, default=200,
+                   help="sensing report period in slots")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("families", help="substrate frame-length table")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-d", type=int, required=True)
+
+    p = sub.add_parser("report", help="markdown certification report")
+    p.add_argument("schedule")
+    p.add_argument("-d", type=int, required=True)
+    p.add_argument("--latency", action="store_true",
+                   help="include the exact worst-case access delay "
+                        "(exponential in D)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write markdown here instead of stdout")
+
+    p = sub.add_parser("experiment",
+                       help="regenerate one paper artefact by name")
+    p.add_argument("name", help="experiment function name, e.g. thm3_sweep; "
+                                "use 'list' to enumerate")
+
+    return parser
+
+
+def _source(family: str, n: int, d: int):
+    from repro.core.nonsleeping import (
+        best_nonsleeping_schedule,
+        mols_schedule,
+        polynomial_schedule,
+        projective_plane_schedule,
+        steiner_schedule,
+        tdma_schedule,
+    )
+
+    if family == "auto":
+        return best_nonsleeping_schedule(n, d)
+    factories = {
+        "tdma": lambda: tdma_schedule(n),
+        "polynomial": lambda: polynomial_schedule(n, d),
+        "steiner": lambda: steiner_schedule(n, d),
+        "projective": lambda: projective_plane_schedule(n, d),
+        "mols": lambda: mols_schedule(n, d),
+    }
+    return family, factories[family]()
+
+
+def _cmd_build(args) -> int:
+    from repro.core.construction import construct
+    from repro.core.serialization import save_schedule
+
+    family, source = _source(args.family, args.n, args.d)
+    built = construct(source, args.d, args.alpha_t, args.alpha_r,
+                      balanced=args.balanced)
+    save_schedule(built, args.output, meta={
+        "class_n": args.n, "class_d": args.d, "family": family,
+        "alpha_t": args.alpha_t, "alpha_r": args.alpha_r,
+        "balanced": args.balanced,
+    })
+    print(f"wrote {args.output}: family={family} L={built.frame_length} "
+          f"duty={float(built.average_duty_cycle()):.3f}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.planner import plan_schedule
+    from repro.core.serialization import save_schedule
+
+    plan = plan_schedule(args.n, args.d, max_duty=args.max_duty,
+                         balanced=args.balanced)
+    save_schedule(plan.schedule, args.output, meta={
+        "class_n": args.n, "class_d": args.d, "family": plan.family,
+        "alpha_t": plan.alpha_t, "alpha_r": plan.alpha_r,
+    })
+    print(f"wrote {args.output}: family={plan.family} "
+          f"(aT={plan.alpha_t}, aR={plan.alpha_r}) L={plan.frame_length} "
+          f"duty={float(plan.duty_cycle):.3f} "
+          f"throughput={float(plan.throughput):.5f}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.serialization import load_schedule
+    from repro.core.transparency import (
+        find_transparency_violation,
+        is_topology_transparent,
+    )
+
+    sched = load_schedule(args.schedule)
+    if is_topology_transparent(sched, args.d):
+        print(f"TRANSPARENT for N_{sched.n}^{args.d} (L={sched.frame_length})")
+        return 0
+    witness = find_transparency_violation(sched, args.d)
+    print(f"NOT transparent for N_{sched.n}^{args.d}; witness: {witness}")
+    return 1
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.latency import frame_delay_bound, worst_link_access_delay
+    from repro.core.serialization import load_schedule
+    from repro.core.throughput import average_throughput, min_throughput
+
+    sched = load_schedule(args.schedule)
+    report = {
+        "n": sched.n,
+        "frame_length": sched.frame_length,
+        "tx_per_slot": [min(sched.tx_counts), max(sched.tx_counts)],
+        "rx_per_slot": [min(sched.rx_counts), max(sched.rx_counts)],
+        "average_duty_cycle": float(sched.average_duty_cycle()),
+        "average_worst_case_throughput":
+            float(average_throughput(sched, args.d)),
+        "minimum_worst_case_throughput":
+            float(min_throughput(sched, args.d)),
+        "frame_delay_bound": frame_delay_bound(sched),
+    }
+    if args.latency:
+        report["worst_link_access_delay"] = \
+            worst_link_access_delay(sched, args.d)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from math import isqrt
+
+    from repro.core.serialization import load_schedule
+    from repro.simulation.engine import Simulator
+    from repro.simulation.routing import sink_tree
+    from repro.simulation.topology import grid, ring, unit_disk, worst_case_regular
+    from repro.simulation.traffic import (
+        PeriodicSensingTraffic,
+        PoissonTraffic,
+        SaturatedTraffic,
+    )
+
+    sched = load_schedule(args.schedule)
+    rng = np.random.default_rng(args.seed)
+    if args.topology == "grid":
+        side = isqrt(args.nodes)
+        if side * side != args.nodes:
+            print(f"error: --topology grid needs a square node count, "
+                  f"got {args.nodes}", file=sys.stderr)
+            return 2
+        topo = grid(side, side)
+    elif args.topology == "ring":
+        topo = ring(args.nodes)
+    elif args.topology == "unit-disk":
+        topo = unit_disk(args.nodes, args.d, rng=rng)
+    else:
+        topo = worst_case_regular(args.nodes, args.d,
+                                  seed=int(rng.integers(2**31 - 1)))
+    if args.traffic == "saturated":
+        traffic = SaturatedTraffic(topo)
+        hops = None
+    elif args.traffic == "poisson":
+        traffic = PoissonTraffic(topo, args.rate, rng)
+        hops = None
+    else:
+        traffic = PeriodicSensingTraffic(topo, sink=0, period=args.period)
+        hops = sink_tree(topo, 0)
+    sim = Simulator(topo, sched, traffic, next_hops=hops)
+    metrics = sim.run(frames=args.frames)
+    links = topo.directed_links()
+    mean_latency = metrics.mean_latency()
+    print(json.dumps({
+        "slots": metrics.slots,
+        "delivery_ratio": metrics.delivery_ratio(),
+        "collisions": metrics.total_collisions(),
+        "mean_link_throughput":
+            metrics.mean_link_throughput(links, sched.frame_length),
+        "min_link_throughput":
+            metrics.min_link_throughput(links, sched.frame_length),
+        "mean_latency_slots":
+            None if mean_latency != mean_latency else mean_latency,
+        "awake_fraction": sim.energy.awake_fraction(),
+        "total_energy_mj": sim.energy.total_mj(),
+    }, indent=2))
+    return 0
+
+
+def _cmd_families(args) -> int:
+    from repro.analysis.tables import Table
+    from repro.core.planner import candidate_sources
+
+    table = Table("family", "frame_length", "tx_min", "tx_max",
+                  title=f"Substrate families for N_{args.n}^{args.d}")
+    for name, sched in candidate_sources(args.n, args.d):
+        table.row(family=name, frame_length=sched.frame_length,
+                  tx_min=min(sched.tx_counts), tx_max=max(sched.tx_counts))
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import certification_report
+    from repro.core.serialization import load_schedule
+
+    sched = load_schedule(args.schedule)
+    report = certification_report(sched, args.d, exact_latency=args.latency,
+                                  extras={"source file": args.schedule})
+    text = report.to_markdown()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0 if report.transparent else 1
+
+
+def _cmd_experiment(args) -> int:
+    from repro.analysis import experiments
+    from repro.analysis.tables import Table
+
+    names = [n for n in experiments.__all__ if n != "random_schedule"]
+    if args.name == "list":
+        print("\n".join(names))
+        return 0
+    if args.name not in names:
+        print(f"error: unknown experiment {args.name!r}; "
+              f"run 'experiment list'", file=sys.stderr)
+        return 2
+    result = getattr(experiments, args.name)()
+    table = result[0] if isinstance(result, tuple) else result
+    if not isinstance(table, Table):  # pragma: no cover - all return Tables
+        print(result)
+        return 0
+    print(table.render())
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "plan": _cmd_plan,
+    "verify": _cmd_verify,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "families": _cmd_families,
+    "report": _cmd_report,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Design-theory substrate: finite fields, orthogonal arrays, Steiner
+systems and cover-free families.
+
+The paper's construction (Figure 2) takes a *topology-transparent
+non-sleeping schedule* as input and cites the literature ([2, 13, 22, 3, 5])
+for how to build one.  The standard route — pointed out by Syrotiuk/Colbourn/
+Ling and by Colbourn/Ling/Syrotiuk — is through *cover-free families*, which
+in turn come from orthogonal arrays (polynomial codes over a finite field)
+and Steiner systems.  This subpackage implements that whole substrate from
+scratch:
+
+* :mod:`repro.combinatorics.gf` — arithmetic in ``GF(p)`` and ``GF(p^m)``;
+* :mod:`repro.combinatorics.polynomials` — polynomial evaluation and
+  enumeration over a field;
+* :mod:`repro.combinatorics.orthogonal` — orthogonal arrays from polynomial
+  codes, plus an exhaustive verifier;
+* :mod:`repro.combinatorics.steiner` — Steiner triple systems (Bose and
+  Skolem-type constructions) and projective planes;
+* :mod:`repro.combinatorics.coverfree` — the :class:`CoverFreeFamily`
+  abstraction with exact and randomized ``d``-cover-freeness checkers and
+  constructions from all of the above.
+"""
+
+from repro.combinatorics.gf import GF, is_prime, is_prime_power, prime_power_decomposition
+from repro.combinatorics.polynomials import evaluate_poly, enumerate_polynomials
+from repro.combinatorics.orthogonal import polynomial_code, is_orthogonal_array
+from repro.combinatorics.steiner import (
+    steiner_triple_system,
+    is_steiner_triple_system,
+    projective_plane,
+    is_projective_plane,
+    affine_plane,
+)
+from repro.combinatorics.coverfree import CoverFreeFamily
+from repro.combinatorics.latin import (
+    is_latin_square,
+    are_orthogonal,
+    mols,
+    macneish_bound,
+    transversal_design,
+)
+
+__all__ = [
+    "GF",
+    "is_prime",
+    "is_prime_power",
+    "prime_power_decomposition",
+    "evaluate_poly",
+    "enumerate_polynomials",
+    "polynomial_code",
+    "is_orthogonal_array",
+    "steiner_triple_system",
+    "is_steiner_triple_system",
+    "projective_plane",
+    "is_projective_plane",
+    "affine_plane",
+    "CoverFreeFamily",
+    "is_latin_square",
+    "are_orthogonal",
+    "mols",
+    "macneish_bound",
+    "transversal_design",
+]

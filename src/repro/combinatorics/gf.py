@@ -1,0 +1,357 @@
+"""Finite-field arithmetic for ``GF(p)`` and ``GF(p^m)``.
+
+The polynomial (orthogonal-array) construction of topology-transparent
+schedules evaluates polynomials over a finite field of prime-power order
+``q``.  This module implements such fields from scratch:
+
+* prime fields ``GF(p)`` with plain modular arithmetic;
+* extension fields ``GF(p^m)`` with elements encoded as integers in
+  ``[0, q)`` whose base-``p`` digits are the coefficients of a polynomial
+  over ``GF(p)``, reduced modulo an irreducible polynomial found by search.
+
+Because the fields used by the schedule constructions are small (``q`` is at
+most a few hundred), full addition and multiplication tables are
+precomputed as NumPy arrays; element-wise operations and vectorized
+evaluation are O(1) table lookups.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterator
+
+import numpy as np
+
+from repro._validation import check_int
+
+__all__ = [
+    "GF",
+    "is_prime",
+    "is_prime_power",
+    "prime_power_decomposition",
+    "primes",
+    "prime_powers",
+    "next_prime_power",
+]
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff *n* is a prime number (deterministic trial division)."""
+    n = check_int(n, "n")
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def prime_power_decomposition(q: int) -> tuple[int, int] | None:
+    """Decompose ``q = p**m`` with ``p`` prime; return ``(p, m)`` or None.
+
+    ``None`` is returned when *q* is not a prime power (including q < 2).
+    """
+    q = check_int(q, "q")
+    if q < 2:
+        return None
+    # The base prime must divide q; find the smallest prime factor.
+    p = None
+    if q % 2 == 0:
+        p = 2
+    else:
+        f = 3
+        while f * f <= q:
+            if q % f == 0:
+                p = f
+                break
+            f += 2
+        if p is None:
+            return (q, 1)  # q itself is prime
+    m = 0
+    r = q
+    while r % p == 0:
+        r //= p
+        m += 1
+    if r != 1:
+        return None
+    return (p, m)
+
+
+def is_prime_power(q: int) -> bool:
+    """Return True iff *q* is a positive prime power ``p**m`` with m >= 1."""
+    return prime_power_decomposition(q) is not None
+
+
+def primes() -> Iterator[int]:
+    """Yield the primes 2, 3, 5, ... indefinitely."""
+    n = 2
+    while True:
+        if is_prime(n):
+            yield n
+        n += 1
+
+
+def prime_powers(start: int = 2) -> Iterator[int]:
+    """Yield prime powers >= *start* in increasing order, indefinitely."""
+    q = max(2, check_int(start, "start"))
+    while True:
+        if is_prime_power(q):
+            yield q
+        q += 1
+
+
+def next_prime_power(q: int) -> int:
+    """Return the smallest prime power >= *q*."""
+    return next(prime_powers(q))
+
+
+def _poly_mul_mod(a: list[int], b: list[int], modulus: list[int], p: int) -> list[int]:
+    """Multiply two coefficient lists over GF(p) and reduce mod *modulus*.
+
+    Coefficient lists are little-endian (index = degree).  *modulus* is a
+    monic polynomial of degree m; the result has degree < m.
+    """
+    prod = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            prod[i + j] = (prod[i + j] + ai * bj) % p
+    m = len(modulus) - 1
+    # Reduce: modulus is monic, so subtract modulus * leading coeff * x^k.
+    for k in range(len(prod) - 1, m - 1, -1):
+        c = prod[k]
+        if c == 0:
+            continue
+        shift = k - m
+        for j, mj in enumerate(modulus):
+            prod[shift + j] = (prod[shift + j] - c * mj) % p
+    out = prod[:m]
+    out += [0] * (m - len(out))
+    return out
+
+
+def _poly_is_irreducible(poly: list[int], p: int) -> bool:
+    """Test irreducibility of a monic polynomial over GF(p) by trial division.
+
+    *poly* is little-endian with leading coefficient 1.  A polynomial of
+    degree m is irreducible iff it has no monic divisor of degree in
+    ``[1, m // 2]``; the fields here are tiny, so exhaustive trial division
+    is entirely adequate.
+    """
+    m = len(poly) - 1
+    if m <= 0:
+        return False
+
+    def divides(divisor: list[int]) -> bool:
+        # Polynomial long division remainder check over GF(p).
+        rem = list(poly)
+        d = len(divisor) - 1
+        inv_lead = pow(divisor[-1], p - 2, p)
+        for k in range(len(rem) - 1, d - 1, -1):
+            c = (rem[k] * inv_lead) % p
+            if c == 0:
+                continue
+            shift = k - d
+            for j, dj in enumerate(divisor):
+                rem[shift + j] = (rem[shift + j] - c * dj) % p
+        return all(c == 0 for c in rem[:d])
+
+    for deg in range(1, m // 2 + 1):
+        # Enumerate all monic polynomials of this degree.
+        for idx in range(p**deg):
+            coeffs = []
+            v = idx
+            for _ in range(deg):
+                coeffs.append(v % p)
+                v //= p
+            coeffs.append(1)  # monic
+            if divides(coeffs):
+                return False
+    return True
+
+
+def _find_irreducible(p: int, m: int) -> list[int]:
+    """Find the lexicographically first monic irreducible of degree m over GF(p)."""
+    for idx in range(p**m):
+        coeffs = []
+        v = idx
+        for _ in range(m):
+            coeffs.append(v % p)
+            v //= p
+        coeffs.append(1)
+        if _poly_is_irreducible(coeffs, p):
+            return coeffs
+    raise AssertionError(
+        f"no irreducible polynomial of degree {m} over GF({p}) found; "
+        "this contradicts field theory and indicates a bug"
+    )
+
+
+class GF:
+    """The finite field ``GF(q)`` with ``q = p**m`` a prime power.
+
+    Elements are the integers ``0 .. q-1``.  For prime fields they are the
+    residues mod ``p``; for extension fields the base-``p`` digits of the
+    integer encode the coefficients (little-endian) of a polynomial over
+    ``GF(p)`` reduced modulo a fixed irreducible polynomial.
+
+    Full operation tables are precomputed, so :meth:`add`, :meth:`mul`,
+    :meth:`neg`, :meth:`inv` and the vectorized variants are table lookups.
+
+    Examples
+    --------
+    >>> f = GF(9)
+    >>> f.p, f.m, f.order
+    (3, 2, 9)
+    >>> f.mul(f.add(2, 5), 7) == f.add(f.mul(2, 7), f.mul(5, 7))
+    True
+    """
+
+    def __init__(self, q: int):
+        q = check_int(q, "q", minimum=2)
+        decomp = prime_power_decomposition(q)
+        if decomp is None:
+            raise ValueError(f"q must be a prime power, got {q}")
+        self.order = q
+        self.p, self.m = decomp
+        self.modulus: tuple[int, ...] | None = None
+        if self.m == 1:
+            a = np.arange(q, dtype=np.int64)
+            self._add = (a[:, None] + a[None, :]) % q
+            self._mul = (a[:, None] * a[None, :]) % q
+        else:
+            modulus = _find_irreducible(self.p, self.m)
+            self.modulus = tuple(modulus)
+            self._add = np.zeros((q, q), dtype=np.int64)
+            self._mul = np.zeros((q, q), dtype=np.int64)
+            digits = [self._digits(e) for e in range(q)]
+            for x in range(q):
+                for y in range(x, q):
+                    s = [(dx + dy) % self.p for dx, dy in zip(digits[x], digits[y])]
+                    sv = self._undigits(s)
+                    self._add[x, y] = sv
+                    self._add[y, x] = sv
+                    pv = self._undigits(
+                        _poly_mul_mod(digits[x], digits[y], modulus, self.p)
+                    )
+                    self._mul[x, y] = pv
+                    self._mul[y, x] = pv
+        self._neg = np.zeros(q, dtype=np.int64)
+        self._inv = np.zeros(q, dtype=np.int64)
+        for x in range(q):
+            row = self._add[x]
+            self._neg[x] = int(np.nonzero(row == 0)[0][0])
+            if x != 0:
+                hits = np.nonzero(self._mul[x] == 1)[0]
+                if len(hits) != 1:
+                    raise AssertionError(
+                        f"element {x} of GF({q}) has {len(hits)} inverses; "
+                        "irreducible-polynomial search is buggy"
+                    )
+                self._inv[x] = int(hits[0])
+
+    # -- encoding helpers -------------------------------------------------
+    def _digits(self, e: int) -> list[int]:
+        out = []
+        for _ in range(self.m):
+            out.append(e % self.p)
+            e //= self.p
+        return out
+
+    def _undigits(self, digits: list[int]) -> int:
+        v = 0
+        for d in reversed(digits):
+            v = v * self.p + d
+        return v
+
+    # -- scalar operations -------------------------------------------------
+    def _check(self, x: int, name: str = "x") -> int:
+        return check_int(x, name, minimum=0, maximum=self.order - 1)
+
+    def add(self, x: int, y: int) -> int:
+        """Field addition."""
+        return int(self._add[self._check(x), self._check(y, "y")])
+
+    def sub(self, x: int, y: int) -> int:
+        """Field subtraction ``x - y``."""
+        return int(self._add[self._check(x), self._neg[self._check(y, "y")]])
+
+    def neg(self, x: int) -> int:
+        """Additive inverse."""
+        return int(self._neg[self._check(x)])
+
+    def mul(self, x: int, y: int) -> int:
+        """Field multiplication."""
+        return int(self._mul[self._check(x), self._check(y, "y")])
+
+    def inv(self, x: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        x = self._check(x)
+        if x == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return int(self._inv[x])
+
+    def div(self, x: int, y: int) -> int:
+        """Field division ``x / y``; raises ZeroDivisionError for y == 0."""
+        return self.mul(x, self.inv(y))
+
+    def pow(self, x: int, e: int) -> int:
+        """Field exponentiation ``x**e`` for integer ``e >= 0`` (0**0 == 1)."""
+        x = self._check(x)
+        e = check_int(e, "e", minimum=0)
+        result = 1
+        base = x
+        while e:
+            if e & 1:
+                result = int(self._mul[result, base])
+            base = int(self._mul[base, base])
+            e >>= 1
+        return result
+
+    # -- vectorized operations ----------------------------------------------
+    def add_vec(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Element-wise field addition of integer arrays (broadcasting)."""
+        return self._add[xs, ys]
+
+    def mul_vec(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Element-wise field multiplication of integer arrays (broadcasting)."""
+        return self._mul[xs, ys]
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def elements(self) -> range:
+        """The elements of the field as the integers ``0 .. q-1``."""
+        return range(self.order)
+
+    def characteristic(self) -> int:
+        """The field characteristic ``p``."""
+        return self.p
+
+    def __len__(self) -> int:
+        return self.order
+
+    def __repr__(self) -> str:
+        if self.m == 1:
+            return f"GF({self.order})"
+        return f"GF({self.order}=={self.p}^{self.m}, modulus={self.modulus})"
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_field(q: int) -> GF:
+    return GF(q)
+
+
+def field(q: int) -> GF:
+    """Return a cached :class:`GF` instance of order *q*.
+
+    Field construction builds full operation tables; callers that repeatedly
+    need the same field (e.g. parameter sweeps) should use this accessor.
+    """
+    return _cached_field(q)

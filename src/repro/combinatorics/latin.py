@@ -1,0 +1,208 @@
+"""Mutually orthogonal Latin squares (MOLS) and transversal designs.
+
+The polynomial construction needs a prime-power alphabet.  Transversal
+designs lift that restriction: ``k - 2`` MOLS of order ``m`` give a
+``TD(k, m)`` — equivalently an orthogonal array ``OA(m**2, k, m, 2)`` of
+index 1 — whose blocks pairwise meet in at most one point, hence a
+``(k - 1)``-cover-free family of ``m**2`` blocks over ``k * m`` points.
+That yields topology-transparent schedules with frame length ``k * m`` for
+*any* order ``m``, prime power or not:
+
+* prime powers: the complete set of ``q - 1`` MOLS from ``GF(q)``
+  (``L_a(i, j) = a*i + j``);
+* composite orders: MacNeish's product — ``N(m1 * m2) >=
+  min(N(m1), N(m2))`` via the componentwise Kronecker-style composition.
+
+(The classical caveat applies: no pair of MOLS of order 6 exists, and
+MacNeish is only a lower bound — e.g. it gives 1 for order 10 though 2
+exist.  The bound is all the schedule construction needs.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_int
+from repro.combinatorics.gf import field, prime_power_decomposition
+
+__all__ = [
+    "is_latin_square",
+    "are_orthogonal",
+    "cyclic_latin_square",
+    "mols_prime_power",
+    "mols",
+    "macneish_bound",
+    "transversal_design",
+    "oa_from_mols",
+]
+
+
+def is_latin_square(square: np.ndarray) -> bool:
+    """True iff *square* is an ``m x m`` array with each row and column a
+    permutation of ``0 .. m-1``."""
+    a = np.asarray(square)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        return False
+    m = a.shape[0]
+    want = np.arange(m)
+    for i in range(m):
+        if not np.array_equal(np.sort(a[i, :]), want):
+            return False
+        if not np.array_equal(np.sort(a[:, i]), want):
+            return False
+    return True
+
+
+def are_orthogonal(sq1: np.ndarray, sq2: np.ndarray) -> bool:
+    """True iff superimposing the squares yields every ordered pair once."""
+    a, b = np.asarray(sq1), np.asarray(sq2)
+    if a.shape != b.shape or a.ndim != 2:
+        return False
+    m = a.shape[0]
+    codes = (a.astype(np.int64) * m + b.astype(np.int64)).ravel()
+    return len(np.unique(codes)) == m * m
+
+
+def cyclic_latin_square(m: int) -> np.ndarray:
+    """The Cayley table of ``Z_m``: ``L[i, j] = (i + j) mod m``."""
+    m = check_int(m, "m", minimum=1)
+    i = np.arange(m)
+    return (i[:, None] + i[None, :]) % m
+
+
+def mols_prime_power(q: int, count: int | None = None) -> list[np.ndarray]:
+    """The complete set of ``q - 1`` MOLS of prime-power order *q*.
+
+    ``L_a(i, j) = a*i + j`` over ``GF(q)`` for each nonzero ``a``; any two
+    are orthogonal because ``(a - a')i`` is a bijection in ``i``.
+    """
+    f = field(q)
+    idx = np.arange(q, dtype=np.int64)
+    out = []
+    limit = q - 1 if count is None else check_int(count, "count", minimum=0,
+                                                  maximum=q - 1)
+    for a in range(1, limit + 1):
+        rows = f.add_vec(f.mul_vec(np.full(q, a, dtype=np.int64), idx)[:, None],
+                         idx[None, :])
+        out.append(rows)
+    return out
+
+
+def _product_square(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Componentwise product of Latin squares: order ``m1 * m2``.
+
+    Cell ``((i1, i2), (j1, j2)) -> (a[i1, j1], b[i2, j2])`` with row/column/
+    symbol indices flattened as ``x1 * m2 + x2``.
+    """
+    m1, m2 = a.shape[0], b.shape[0]
+    big = np.empty((m1 * m2, m1 * m2), dtype=np.int64)
+    for i1 in range(m1):
+        for i2 in range(m2):
+            row = (a[i1][:, None] * m2 + b[i2][None, :]).reshape(-1)
+            big[i1 * m2 + i2] = row
+    return big
+
+
+def macneish_bound(m: int) -> int:
+    """MacNeish's lower bound on the number of MOLS of order *m*.
+
+    ``min over prime-power factors p**e of (p**e - 1)``; 0 for ``m = 1``.
+    """
+    m = check_int(m, "m", minimum=1)
+    if m == 1:
+        return 0
+    best = None
+    rest = m
+    p = 2
+    while p * p <= rest:
+        if rest % p == 0:
+            e = 0
+            while rest % p == 0:
+                rest //= p
+                e += 1
+            value = p**e - 1
+            best = value if best is None else min(best, value)
+        p += 1
+    if rest > 1:
+        best = rest - 1 if best is None else min(best, rest - 1)
+    assert best is not None
+    return best
+
+
+def mols(m: int, count: int | None = None) -> list[np.ndarray]:
+    """*count* MOLS of order *m* (default: the MacNeish bound's worth).
+
+    Prime powers get the complete set; composite orders use the MacNeish
+    product over the prime-power factorization.  Raises ValueError when
+    more squares are requested than the construction provides.
+    """
+    m = check_int(m, "m", minimum=2)
+    available = macneish_bound(m)
+    if count is None:
+        count = available
+    count = check_int(count, "count", minimum=0)
+    if count > available:
+        raise ValueError(
+            f"MacNeish construction provides only {available} MOLS of order "
+            f"{m}; {count} requested"
+        )
+    if count == 0:
+        return []
+    if prime_power_decomposition(m) is not None:
+        return mols_prime_power(m, count)
+    # Factor into prime powers and compose pairwise.
+    factors = []
+    rest = m
+    p = 2
+    while p * p <= rest:
+        if rest % p == 0:
+            pe = 1
+            while rest % p == 0:
+                rest //= p
+                pe *= p
+            factors.append(pe)
+        p += 1
+    if rest > 1:
+        factors.append(rest)
+    per_factor = [mols_prime_power(pe, count) for pe in factors]
+    combined = per_factor[0]
+    for nxt in per_factor[1:]:
+        combined = [_product_square(a, b) for a, b in zip(combined, nxt)]
+    return combined
+
+
+def oa_from_mols(m: int, k: int) -> np.ndarray:
+    """An ``OA(m**2, k, m, 2)`` of index 1 from ``k - 2`` MOLS of order *m*.
+
+    Columns: row index, column index, and one per Latin square.  Any two
+    rows of the result agree in at most one column — the transversal-design
+    property the cover-free construction uses.
+    """
+    m = check_int(m, "m", minimum=2)
+    k = check_int(k, "k", minimum=2)
+    squares = mols(m, k - 2)
+    rows = np.empty((m * m, k), dtype=np.int64)
+    r = 0
+    for i in range(m):
+        for j in range(m):
+            rows[r, 0] = i
+            rows[r, 1] = j
+            for c, sq in enumerate(squares):
+                rows[r, 2 + c] = sq[i, j]
+            r += 1
+    return rows
+
+
+def transversal_design(k: int, m: int) -> tuple[int, list[frozenset[int]]]:
+    """The transversal design ``TD(k, m)``: ``(points, blocks)``.
+
+    ``k * m`` points in ``k`` groups (point ``(g, s)`` is index
+    ``g * m + s``); ``m**2`` blocks of size ``k``, one per OA row, meeting
+    each group once and pairwise intersecting in at most one point.
+    """
+    rows = oa_from_mols(m, k)
+    blocks = [
+        frozenset(int(g) * m + int(v) for g, v in enumerate(row))
+        for row in rows
+    ]
+    return k * m, blocks

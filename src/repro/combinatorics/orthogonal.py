@@ -1,0 +1,85 @@
+"""Orthogonal arrays from polynomial codes, with an exhaustive verifier.
+
+Chlamtac-Farago and Ju-Li build topology-transparent schedules from the
+codewords of a Reed-Solomon-style polynomial code; Syrotiuk, Colbourn and
+Ling later recast both as cover-free families obtained from an *orthogonal
+array*.  This module provides
+
+* :func:`polynomial_code` — the ``q**(t) x q`` array whose rows are the
+  value tables of all polynomials of degree < t over ``GF(q)`` (an
+  ``OA(q**t, q, q, t)`` of index 1), and
+* :func:`is_orthogonal_array` — a brute-force verifier used by the tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro._validation import check_int
+from repro.combinatorics.gf import GF, field
+from repro.combinatorics.polynomials import value_table
+
+__all__ = ["polynomial_code", "is_orthogonal_array"]
+
+
+def polynomial_code(q: int, k: int, count: int | None = None) -> np.ndarray:
+    """Rows = value tables of the first *count* polynomials of degree <= k.
+
+    With ``count == q**(k+1)`` (the default) the result is an orthogonal
+    array ``OA(q**(k+1), q, q, k+1)`` of index 1: restricted to any ``k+1``
+    columns, every ``(k+1)``-tuple over ``GF(q)`` appears exactly once,
+    because a polynomial of degree <= k is determined by its values at any
+    ``k+1`` distinct points (Lagrange interpolation).
+
+    Parameters
+    ----------
+    q:
+        A prime power — the field order and number of columns.
+    k:
+        Maximum polynomial degree; the array has strength ``k+1``.
+    count:
+        Number of rows to emit (a prefix of the canonical enumeration);
+        defaults to all ``q**(k+1)``.
+    """
+    k = check_int(k, "k", minimum=0)
+    f: GF = field(q)
+    total = q ** (k + 1)
+    if count is None:
+        count = total
+    count = check_int(count, "count", minimum=1, maximum=total)
+    return value_table(f, k, count)
+
+
+def is_orthogonal_array(array: np.ndarray, strength: int, levels: int | None = None
+                        ) -> bool:
+    """Exhaustively check that *array* is an OA of the given *strength*.
+
+    An ``N x c`` array with entries in ``[0, s)`` is an orthogonal array of
+    strength ``t`` and index ``lam = N / s**t`` when every ``t``-column
+    projection contains every ``t``-tuple exactly ``lam`` times.  ``lam``
+    must be a positive integer or the check fails immediately.
+    """
+    strength = check_int(strength, "strength", minimum=1)
+    a = np.asarray(array)
+    if a.ndim != 2:
+        raise ValueError(f"array must be 2-D, got shape {a.shape}")
+    n_rows, n_cols = a.shape
+    if strength > n_cols:
+        raise ValueError(f"strength {strength} exceeds column count {n_cols}")
+    s = int(a.max()) + 1 if levels is None else check_int(levels, "levels", minimum=1)
+    if a.min() < 0 or a.max() >= s:
+        return False
+    lam, rem = divmod(n_rows, s**strength)
+    if rem != 0 or lam == 0:
+        return False
+    for cols in combinations(range(n_cols), strength):
+        # Encode each row's t-tuple as a single integer, then histogram.
+        codes = np.zeros(n_rows, dtype=np.int64)
+        for c in cols:
+            codes = codes * s + a[:, c]
+        counts = np.bincount(codes, minlength=s**strength)
+        if not np.all(counts == lam):
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""Polynomial evaluation and enumeration over a finite field.
+
+The polynomial construction of topology-transparent schedules assigns to
+every node a distinct polynomial of degree at most ``k`` over ``GF(q)`` and
+derives the node's transmission slots from the polynomial's value table.
+This module provides the two primitives that construction needs:
+
+* :func:`evaluate_poly` / :func:`evaluate_poly_all` — Horner evaluation of a
+  coefficient vector at one point / at every field element;
+* :func:`enumerate_polynomials` — a canonical enumeration of all ``q**(k+1)``
+  coefficient vectors, indexed so that low indices have low degree (index 0
+  is the zero polynomial, indices ``< q`` are the constants, and so on),
+  which keeps per-slot transmitter counts balanced when only a prefix of the
+  enumeration is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._validation import check_int
+from repro.combinatorics.gf import GF
+
+__all__ = [
+    "evaluate_poly",
+    "evaluate_poly_all",
+    "enumerate_polynomials",
+    "poly_from_index",
+    "value_table",
+]
+
+
+def evaluate_poly(field: GF, coeffs: Sequence[int], x: int) -> int:
+    """Evaluate the polynomial with little-endian *coeffs* at *x* (Horner)."""
+    x = check_int(x, "x", minimum=0, maximum=field.order - 1)
+    acc = 0
+    for c in reversed(list(coeffs)):
+        acc = field.add(field.mul(acc, x), c)
+    return acc
+
+
+def evaluate_poly_all(field: GF, coeffs: Sequence[int]) -> np.ndarray:
+    """Evaluate the polynomial at every field element; shape ``(q,)``.
+
+    Vectorized Horner scheme over the field's lookup tables.
+    """
+    q = field.order
+    xs = np.arange(q, dtype=np.int64)
+    acc = np.zeros(q, dtype=np.int64)
+    for c in reversed(list(coeffs)):
+        acc = field.add_vec(field.mul_vec(acc, xs), np.full(q, int(c), dtype=np.int64))
+    return acc
+
+
+def poly_from_index(field: GF, k: int, index: int) -> tuple[int, ...]:
+    """Return the coefficient vector of the *index*-th polynomial of degree <= k.
+
+    The enumeration writes *index* in base ``q``; digit ``i`` is the
+    coefficient of ``x**i``.  Hence index 0 is the zero polynomial and the
+    first ``q`` indices are the constant polynomials.
+    """
+    q = field.order
+    k = check_int(k, "k", minimum=0)
+    index = check_int(index, "index", minimum=0, maximum=q ** (k + 1) - 1)
+    coeffs = []
+    v = index
+    for _ in range(k + 1):
+        coeffs.append(v % q)
+        v //= q
+    return tuple(coeffs)
+
+
+def enumerate_polynomials(field: GF, k: int, count: int | None = None
+                          ) -> Iterator[tuple[int, ...]]:
+    """Yield coefficient vectors of polynomials of degree <= k in index order.
+
+    At most *count* polynomials are yielded (all ``q**(k+1)`` when None).
+    """
+    q = field.order
+    k = check_int(k, "k", minimum=0)
+    total = q ** (k + 1)
+    if count is None:
+        count = total
+    count = check_int(count, "count", minimum=0, maximum=total)
+    for index in range(count):
+        yield poly_from_index(field, k, index)
+
+
+def value_table(field: GF, k: int, count: int) -> np.ndarray:
+    """Value table of the first *count* polynomials of degree <= k.
+
+    Returns an int64 array of shape ``(count, q)`` whose row ``r`` holds
+    ``f_r(x)`` for every field element ``x``; rows are the canonical
+    enumeration order of :func:`enumerate_polynomials`.  Two distinct rows
+    agree in at most ``k`` columns (a nonzero polynomial of degree <= k has
+    at most ``k`` roots), which is the property the cover-free construction
+    relies on.
+    """
+    q = field.order
+    rows = np.empty((count, q), dtype=np.int64)
+    for r, coeffs in enumerate(enumerate_polynomials(field, k, count)):
+        rows[r] = evaluate_poly_all(field, coeffs)
+    return rows

@@ -1,0 +1,132 @@
+"""The paper's primary contribution: topology-transparent duty cycling.
+
+Modules
+-------
+:mod:`repro.core.schedule`
+    The ``<T, R>`` schedule datatype of section 3 (bitmask-backed), plus
+    validation and per-node slot-set accessors.
+:mod:`repro.core.transparency`
+    ``freeSlots``, ``sigma`` and the three topology-transparency
+    requirements of section 4, with exact and randomized checkers.
+:mod:`repro.core.throughput`
+    The worst-case throughput theory of section 5: Definitions 1-2, the
+    closed form of Theorem 2, the function ``g_{n,D}``, and the upper
+    bounds / optimizers of Theorems 3-4, plus the Theorem 8/9 bounds of
+    section 7.
+:mod:`repro.core.construction`
+    The Figure 2 algorithm converting a topology-transparent non-sleeping
+    schedule into a topology-transparent ``(alpha_T, alpha_R)``-schedule,
+    including the balanced-energy variant sketched at the end of section 7.
+:mod:`repro.core.nonsleeping`
+    Factories for topology-transparent non-sleeping schedules built on the
+    :mod:`repro.combinatorics` substrate (TDMA, polynomial/orthogonal-array,
+    Steiner, projective-plane), with automatic parameter selection.
+"""
+
+from repro.core.schedule import Schedule
+from repro.core.transparency import (
+    free_slots,
+    sigma,
+    satisfies_requirement1,
+    satisfies_requirement2,
+    satisfies_requirement3,
+    is_topology_transparent,
+    find_transparency_violation,
+)
+from repro.core.throughput import (
+    guaranteed_slots,
+    min_throughput,
+    average_throughput,
+    average_throughput_bruteforce,
+    g,
+    g_upper_bound,
+    optimal_transmitters_general,
+    general_upper_bound,
+    optimal_transmitters_constrained,
+    constrained_upper_bound,
+    r_ratio,
+    thm8_ratio_lower_bound,
+    thm9_min_throughput_bound,
+)
+from repro.core.construction import construct, construct_exact, frame_length_formula
+from repro.core.latency import (
+    max_cyclic_gap,
+    link_access_delay,
+    worst_link_access_delay,
+    path_delay_bound,
+    frame_delay_bound,
+)
+from repro.core.planner import Plan, plan_schedule, candidate_sources
+from repro.core.composition import (
+    permute_slots,
+    relabel_nodes,
+    concatenate,
+    rotate,
+    interleave_construction,
+)
+from repro.core.serialization import (
+    schedule_to_dict,
+    schedule_from_dict,
+    save_schedule,
+    load_schedule,
+)
+from repro.core.nonsleeping import (
+    tdma_schedule,
+    from_cover_free_family,
+    polynomial_schedule,
+    steiner_schedule,
+    projective_plane_schedule,
+    mols_schedule,
+    best_nonsleeping_schedule,
+)
+
+__all__ = [
+    "Schedule",
+    "free_slots",
+    "sigma",
+    "satisfies_requirement1",
+    "satisfies_requirement2",
+    "satisfies_requirement3",
+    "is_topology_transparent",
+    "find_transparency_violation",
+    "guaranteed_slots",
+    "min_throughput",
+    "average_throughput",
+    "average_throughput_bruteforce",
+    "g",
+    "g_upper_bound",
+    "optimal_transmitters_general",
+    "general_upper_bound",
+    "optimal_transmitters_constrained",
+    "constrained_upper_bound",
+    "r_ratio",
+    "thm8_ratio_lower_bound",
+    "thm9_min_throughput_bound",
+    "construct",
+    "construct_exact",
+    "frame_length_formula",
+    "tdma_schedule",
+    "from_cover_free_family",
+    "polynomial_schedule",
+    "steiner_schedule",
+    "projective_plane_schedule",
+    "mols_schedule",
+    "best_nonsleeping_schedule",
+    "max_cyclic_gap",
+    "link_access_delay",
+    "worst_link_access_delay",
+    "path_delay_bound",
+    "frame_delay_bound",
+    "Plan",
+    "plan_schedule",
+    "candidate_sources",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "permute_slots",
+    "relabel_nodes",
+    "concatenate",
+    "rotate",
+    "interleave_construction",
+]

@@ -1,0 +1,141 @@
+"""Schedule transformations with provable invariants.
+
+Operations a deployment actually performs on schedules — renaming nodes,
+reordering slots, time-multiplexing two schedules — and the invariants the
+paper's definitions give them:
+
+* **slot permutation** preserves topology transparency, average and
+  minimum worst-case throughput, frame length and duty cycles (all
+  quantities in sections 4-5 are slot-order-free);
+* **node relabelling** preserves transparency and all throughput
+  quantities (the requirements quantify over all node subsets);
+* **concatenation** of two schedules over the same ``V_n`` is transparent
+  if either operand is, and its average throughput is the length-weighted
+  mean of the operands' (immediate from Theorem 2);
+* **interleaving** — an *ordering ablation*: Figure 2 emits each source
+  slot's constructed slots contiguously; round-robin interleaving deals
+  them out across the frame instead.  Being a slot permutation it changes
+  *no* throughput quantity, only the worst-case access delay — and the
+  measured effect (``benchmarks/bench_interleave_latency.py``) is small in
+  either direction for the substrate families here, because each link
+  draws about one guaranteed slot per source slot already.  The operation
+  stays useful as the hook for custom delay-aware orderings.
+
+All of these invariants are property-tested in
+``tests/core/test_composition.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro._validation import check_int
+from repro.core.construction import ConstructionResult
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "permute_slots",
+    "relabel_nodes",
+    "concatenate",
+    "rotate",
+    "interleave_construction",
+]
+
+
+def permute_slots(schedule: Schedule, permutation: Sequence[int]) -> Schedule:
+    """Reorder the frame: new slot ``i`` is old slot ``permutation[i]``.
+
+    *permutation* must be a permutation of ``range(L)``.
+    """
+    length = schedule.frame_length
+    perm = [check_int(p, "permutation entry", minimum=0, maximum=length - 1)
+            for p in permutation]
+    if len(perm) != length or len(set(perm)) != length:
+        raise ValueError(
+            f"permutation must rearrange all {length} slots exactly once"
+        )
+    return Schedule(
+        schedule.n,
+        tuple(schedule.tx[p] for p in perm),
+        tuple(schedule.rx[p] for p in perm),
+    )
+
+
+def rotate(schedule: Schedule, shift: int) -> Schedule:
+    """Cyclically shift the frame by *shift* slots (any integer)."""
+    length = schedule.frame_length
+    shift = shift % length
+    perm = [(i + shift) % length for i in range(length)]
+    return permute_slots(schedule, perm)
+
+
+def relabel_nodes(schedule: Schedule, mapping: Sequence[int]) -> Schedule:
+    """Rename nodes: new node ``mapping[x]`` takes old node ``x``'s role.
+
+    *mapping* must be a permutation of ``range(n)``.
+    """
+    n = schedule.n
+    perm = [check_int(p, "mapping entry", minimum=0, maximum=n - 1)
+            for p in mapping]
+    if len(perm) != n or len(set(perm)) != n:
+        raise ValueError(f"mapping must rename all {n} nodes exactly once")
+
+    def remap(mask: int) -> int:
+        out = 0
+        m = mask
+        while m:
+            low = m & -m
+            out |= 1 << perm[low.bit_length() - 1]
+            m ^= low
+        return out
+
+    return Schedule(
+        n,
+        tuple(remap(t) for t in schedule.tx),
+        tuple(remap(r) for r in schedule.rx),
+    )
+
+
+def concatenate(first: Schedule, second: Schedule) -> Schedule:
+    """Time-multiplex two schedules over the same node set.
+
+    The frame is ``first``'s slots followed by ``second``'s.  If either
+    operand is topology-transparent for ``N_n^D``, so is the result (every
+    frame still contains the transparent operand's slots); by Theorem 2
+    the average worst-case throughput is the length-weighted mean.
+    """
+    if first.n != second.n:
+        raise ValueError(
+            f"schedules cover different node sets: {first.n} != {second.n}"
+        )
+    return Schedule(first.n, first.tx + second.tx, first.rx + second.rx)
+
+
+def interleave_construction(result: ConstructionResult) -> Schedule:
+    """Round-robin the constructed slots across their source slots.
+
+    ``construct_detailed`` emits all slots derived from source slot 0,
+    then all from source slot 1, and so on; a link whose free slot lives
+    in source slot ``i`` gets all its guaranteed slots bunched together.
+    This permutation deals the slots out round-robin — first constructed
+    slot of each source slot, then the second of each, ... — which spreads
+    every link's guaranteed slots roughly evenly across the frame and
+    shrinks the worst-case access delay at zero throughput cost (it is a
+    slot permutation).
+    """
+    origins = result.slot_origin
+    buckets: dict[int, list[int]] = {}
+    for idx, origin in enumerate(origins):
+        buckets.setdefault(origin, []).append(idx)
+    order: list[int] = []
+    round_idx = 0
+    remaining = True
+    while remaining:
+        remaining = False
+        for origin in sorted(buckets):
+            bucket = buckets[origin]
+            if round_idx < len(bucket):
+                order.append(bucket[round_idx])
+                remaining = True
+        round_idx += 1
+    return permute_slots(result.schedule, order)

@@ -1,0 +1,183 @@
+"""Worst-case latency analysis of topology-transparent schedules.
+
+The paper's goal statement is "bounding packet latency in the presence of
+collisions"; transparency delivers that bound implicitly: every link gets a
+guaranteed slot each frame, so a packet waits at most one frame per hop.
+This module sharpens the implicit bound:
+
+* :func:`max_cyclic_gap` — the longest wait between consecutive guaranteed
+  slots of a periodic slot set;
+* :func:`link_access_delay` — the worst-case slots-until-delivery for one
+  directed link under an adversarial neighbourhood (exact, enumerating
+  ``S``; exponential in ``D`` — intended for small instances);
+* :func:`worst_link_access_delay` — the maximum over all links, i.e. the
+  per-hop latency bound a deployment can quote;
+* :func:`path_delay_bound` — additive multi-hop bound along a route;
+* :func:`frame_delay_bound` — the cheap universal bound ``2L - 1`` implied
+  by one-guaranteed-slot-per-frame, for comparison with the exact values.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+from repro._validation import check_class_params, check_int
+from repro.core.schedule import Schedule
+from repro.core.throughput import guaranteed_slots
+
+__all__ = [
+    "max_cyclic_gap",
+    "mean_cyclic_wait",
+    "link_access_delay",
+    "mean_link_access_delay",
+    "worst_link_access_delay",
+    "path_delay_bound",
+    "frame_delay_bound",
+]
+
+
+def max_cyclic_gap(slot_mask: int, frame_length: int) -> int:
+    """Worst wait (in slots) for the next slot of a periodic slot set.
+
+    A packet arriving right after slot ``p_i`` of the set waits until the
+    next member ``p_{i+1}`` (cyclically, across the frame boundary); the
+    result is the maximum of those distances.  For the empty set the wait
+    is unbounded and ``ValueError`` is raised.
+
+    >>> max_cyclic_gap(0b00100010, 8)  # slots {1, 5} in a frame of 8
+    4
+    """
+    check_int(frame_length, "frame_length", minimum=1)
+    check_int(slot_mask, "slot_mask", minimum=0,
+              maximum=(1 << frame_length) - 1)
+    if slot_mask == 0:
+        raise ValueError("empty slot set has unbounded delay")
+    positions = [i for i in range(frame_length) if slot_mask >> i & 1]
+    worst = 0
+    for a, b in zip(positions, positions[1:]):
+        worst = max(worst, b - a)
+    worst = max(worst, positions[0] + frame_length - positions[-1])
+    return worst
+
+
+def mean_cyclic_wait(slot_mask: int, frame_length: int) -> Fraction:
+    """Expected wait (slots) to the next set slot for a uniform arrival phase.
+
+    A packet born at the start of a uniformly random slot waits until the
+    end of the next slot in the set (inclusive — transmitting takes the
+    slot, matching the engine's latency convention).  With gap lengths
+    ``g_1..g_m`` between consecutive set slots (cyclically,
+    ``sum g_i = L``), the expectation is ``sum g_i (g_i + 1) / (2 L)``.
+
+    Exact, and validated against simulated single-packet latencies in
+    ``tests/core/test_latency.py``.
+
+    >>> mean_cyclic_wait(0b0001, 4)    # one slot per frame of 4
+    Fraction(5, 2)
+    """
+    check_int(frame_length, "frame_length", minimum=1)
+    check_int(slot_mask, "slot_mask", minimum=0,
+              maximum=(1 << frame_length) - 1)
+    if slot_mask == 0:
+        raise ValueError("empty slot set has unbounded wait")
+    positions = [i for i in range(frame_length) if slot_mask >> i & 1]
+    gaps = [b - a for a, b in zip(positions, positions[1:])]
+    gaps.append(positions[0] + frame_length - positions[-1])
+    total = sum(g * (g + 1) for g in gaps)
+    return Fraction(total, 2 * frame_length)
+
+
+def mean_link_access_delay(schedule: Schedule, d: int, x: int, y: int
+                           ) -> Fraction:
+    """Worst-neighbourhood *expected* delay for a packet from *x* to *y*.
+
+    Like :func:`link_access_delay` but averaging over the packet's arrival
+    phase (uniform) instead of taking the adversarial phase; the
+    neighbourhood ``S`` remains adversarial (max over ``S``).  Exponential
+    in ``D``.
+    """
+    n, d = check_class_params(schedule.n, d)
+    check_int(x, "x", minimum=0, maximum=n - 1)
+    check_int(y, "y", minimum=0, maximum=n - 1)
+    if x == y:
+        raise ValueError("x and y must differ")
+    others = [z for z in range(n) if z != x and z != y]
+    worst: Fraction | None = None
+    for s in combinations(others, d - 1):
+        mask = guaranteed_slots(schedule, x, y, s)
+        if mask == 0:
+            raise ValueError(
+                f"link {x}->{y} has no guaranteed slot for neighbourhood "
+                f"{s}; the schedule is not topology-transparent for D={d}"
+            )
+        value = mean_cyclic_wait(mask, schedule.frame_length)
+        if worst is None or value > worst:
+            worst = value
+    assert worst is not None
+    return worst
+
+
+def link_access_delay(schedule: Schedule, d: int, x: int, y: int) -> int:
+    """Exact worst-case delay (slots) for a packet from *x* to *y* in ``N_n^D``.
+
+    The adversary chooses *y*'s other neighbours ``S`` (``|S| = D - 1``)
+    and the packet's arrival slot; the delay is the wait until the next
+    guaranteed slot of ``T(x, y, S)``.  Exponential in ``D`` (enumerates
+    all ``S``); raises ``ValueError`` if some ``S`` leaves the link with no
+    guaranteed slot (the schedule is not topology-transparent).
+    """
+    n, d = check_class_params(schedule.n, d)
+    check_int(x, "x", minimum=0, maximum=n - 1)
+    check_int(y, "y", minimum=0, maximum=n - 1)
+    if x == y:
+        raise ValueError("x and y must differ")
+    length = schedule.frame_length
+    others = [z for z in range(n) if z != x and z != y]
+    worst = 0
+    for s in combinations(others, d - 1):
+        mask = guaranteed_slots(schedule, x, y, s)
+        if mask == 0:
+            raise ValueError(
+                f"link {x}->{y} has no guaranteed slot for neighbourhood "
+                f"{s}; the schedule is not topology-transparent for D={d}"
+            )
+        worst = max(worst, max_cyclic_gap(mask, length))
+    return worst
+
+
+def worst_link_access_delay(schedule: Schedule, d: int) -> int:
+    """The per-hop worst-case delay bound: max of :func:`link_access_delay`
+    over all ordered node pairs.  This is the number a deployment quotes as
+    "any neighbour hears me within W slots, whatever the topology does"."""
+    n, d = check_class_params(schedule.n, d)
+    worst = 0
+    for x in range(n):
+        for y in range(n):
+            if x != y:
+                worst = max(worst, link_access_delay(schedule, d, x, y))
+    return worst
+
+
+def path_delay_bound(schedule: Schedule, d: int, path: list[int]) -> int:
+    """Additive worst-case delay along *path* (consecutive nodes adjacent).
+
+    Sums the exact per-link worst delays; a valid end-to-end bound because
+    each hop's wait starts when the previous hop delivers.
+    """
+    if len(path) < 2:
+        raise ValueError("a path needs at least two nodes")
+    total = 0
+    for a, b in zip(path, path[1:]):
+        total += link_access_delay(schedule, d, a, b)
+    return total
+
+
+def frame_delay_bound(schedule: Schedule) -> int:
+    """The universal transparency bound: at most ``2L - 1`` slots per hop.
+
+    One guaranteed slot per frame means a packet arriving just after the
+    slot waits through the rest of this frame plus the next frame's prefix.
+    Cheap but loose; the exact functions above quantify how loose.
+    """
+    return 2 * schedule.frame_length - 1

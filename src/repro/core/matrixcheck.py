@@ -1,0 +1,96 @@
+"""NumPy-matrix transparency checker — the data-structure ablation.
+
+DESIGN.md calls out one representational choice for the hot set algebra in
+transparency checking: Python-int bitmasks (arbitrary precision, one
+machine word per 64 slots, constant-factor-free AND/OR) versus NumPy
+boolean vectors (vectorized but object-overhead-per-op at these tiny
+sizes).  This module is the NumPy side of that ablation: the *same* exact
+branch-and-bound cover decision as
+:func:`repro.core.transparency.is_topology_transparent`, with every slot
+set held as a ``bool`` ndarray.
+
+Benchmarked in ``benchmarks/bench_ablation_bitset.py``; the two
+implementations are property-tested to agree.  Production code paths use
+the bitmask implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_class_params
+from repro.core.schedule import Schedule
+
+__all__ = ["matrix_is_topology_transparent"]
+
+
+def _can_cover_rows(target: np.ndarray, candidates: list[np.ndarray],
+                    budget: int) -> bool:
+    """Exact set-cover decision over boolean rows (mirrors coverfree.can_cover)."""
+    if not target.any():
+        return True
+    if budget == 0:
+        return False
+    useful = [c & target for c in candidates if (c & target).any()]
+    # Dominated-candidate elimination.
+    useful.sort(key=lambda c: -int(c.sum()))
+    kept: list[np.ndarray] = []
+    for c in useful:
+        if not any((c & ~k).sum() == 0 for k in kept):
+            kept.append(c)
+
+    def rec(remaining: np.ndarray, depth: int, cands: list[np.ndarray]) -> bool:
+        if not remaining.any():
+            return True
+        if depth == 0:
+            return False
+        cands = [c for c in cands if (c & remaining).any()]
+        if not cands:
+            return False
+        sizes = sorted(int((c & remaining).sum()) for c in cands)
+        if sum(sizes[-depth:]) < int(remaining.sum()):
+            return False
+        # Branch on the uncovered slot with fewest covering candidates.
+        idxs = np.nonzero(remaining)[0]
+        best_owners: list[np.ndarray] | None = None
+        for i in idxs:
+            owners = [c for c in cands if c[i]]
+            if not owners:
+                return False
+            if best_owners is None or len(owners) < len(best_owners):
+                best_owners = owners
+                if len(owners) == 1:
+                    break
+        assert best_owners is not None
+        for c in best_owners:
+            if rec(remaining & ~c, depth - 1, cands):
+                return True
+        return False
+
+    return rec(target.copy(), budget, kept)
+
+
+def matrix_is_topology_transparent(schedule: Schedule, d: int) -> bool:
+    """Requirement 2 decision using boolean ndarrays for all slot sets.
+
+    Semantically identical to the bitmask
+    :func:`repro.core.transparency.is_topology_transparent`; exists for the
+    representation ablation only.
+    """
+    n, d = check_class_params(schedule.n, d)
+    r = min(d - 1, n - 2)
+    tx = schedule.tx_matrix()   # (L, n)
+    rx = schedule.rx_matrix()
+    tran = [np.ascontiguousarray(tx[:, x]) for x in range(n)]
+    recv = [np.ascontiguousarray(rx[:, x]) for x in range(n)]
+    for x in range(n):
+        for y in range(n):
+            if x == y:
+                continue
+            target = tran[x] & recv[y]
+            if not target.any():
+                return False
+            candidates = [tran[z] for z in range(n) if z != x and z != y]
+            if _can_cover_rows(target, candidates, r):
+                return False
+    return True

@@ -1,0 +1,140 @@
+"""Deployment planner: from an energy budget to a concrete schedule.
+
+A user's question is rarely "give me an (alpha_T, alpha_R)-schedule"; it is
+"my nodes may keep the radio on at most 30% of the time — what is the best
+topology-transparent schedule for up to n nodes of degree at most D?".
+This module answers it by searching the substrate families and the
+``(alpha_T, alpha_R)`` grid, scoring each candidate with the *exact*
+Theorem 2 average worst-case throughput of the constructed schedule and
+its exact awake fraction.
+
+The search is exhaustive over a small grid: substrates are the library's
+families, ``alpha_T`` ranges up to Theorem 4's saturation point (raising
+it further provably cannot help), and for each ``alpha_T`` the largest
+``alpha_R`` that still satisfies the duty budget is used (Theorem 4: the
+bound is increasing in ``alpha_R``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro._validation import check_class_params, check_probability
+from repro.core.construction import construct_detailed
+from repro.core.nonsleeping import (
+    mols_schedule,
+    polynomial_schedule,
+    projective_plane_schedule,
+    steiner_schedule,
+    tdma_schedule,
+)
+from repro.core.schedule import Schedule
+from repro.core.throughput import (
+    average_throughput,
+    optimal_transmitters_constrained,
+)
+
+__all__ = ["Plan", "plan_schedule", "candidate_sources"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planner recommendation.
+
+    Attributes
+    ----------
+    schedule:
+        The constructed topology-transparent duty-cycled schedule.
+    family:
+        The substrate family the source schedule came from.
+    alpha_t, alpha_r:
+        The energy parameters used by the construction.
+    throughput:
+        Exact average worst-case throughput (Theorem 2) in ``N_n^D``.
+    duty_cycle:
+        Exact average awake fraction of the schedule.
+    frame_length:
+        Constructed frame length (per-hop latency scale).
+    """
+
+    schedule: Schedule
+    family: str
+    alpha_t: int
+    alpha_r: int
+    throughput: Fraction
+    duty_cycle: Fraction
+    frame_length: int
+
+
+def candidate_sources(n: int, d: int) -> list[tuple[str, Schedule]]:
+    """Every substrate family constructible for ``(n, D)``."""
+    n, d = check_class_params(n, d)
+    out: list[tuple[str, Schedule]] = [("tdma", tdma_schedule(n))]
+    out.append(("polynomial", polynomial_schedule(n, d)))
+    if d <= 2:
+        out.append(("steiner", steiner_schedule(n, d)))
+    out.append(("projective", projective_plane_schedule(n, d)))
+    out.append(("mols", mols_schedule(n, d)))
+    return out
+
+
+def plan_schedule(n: int, d: int, max_duty: float, *,
+                  balanced: bool = False,
+                  families: list[tuple[str, Schedule]] | None = None) -> Plan:
+    """Best topology-transparent schedule within a duty-cycle budget.
+
+    Parameters
+    ----------
+    n, d:
+        The network class ``N_n^D``.
+    max_duty:
+        Maximum allowed average awake fraction in ``(0, 1]``.
+    balanced:
+        Use the balanced-energy divisions (section 7 variant).
+    families:
+        Optional pre-built ``(name, source)`` candidates; defaults to
+        :func:`candidate_sources`.
+
+    Returns the :class:`Plan` maximizing exact average worst-case
+    throughput subject to ``duty_cycle <= max_duty``; ties break toward
+    the shorter frame (lower latency).  Raises ``ValueError`` when the
+    budget admits no schedule (it must allow at least 1 transmitter and 1
+    receiver per slot, i.e. ``max_duty >= 2/n``).
+    """
+    n, d = check_class_params(n, d)
+    max_duty = check_probability(max_duty, "max_duty")
+    sources = families if families is not None else candidate_sources(n, d)
+    alpha_cap = optimal_transmitters_constrained(n, d, n - 1)
+    best: Plan | None = None
+    for name, source in sources:
+        for alpha_t in range(1, alpha_cap + 1):
+            # Theorem 4's bound rises with alpha_R, and the duty cycle of a
+            # constructed schedule is (aT* + aR)/n per slot: pick the
+            # largest alpha_R the budget allows.
+            alpha_r = min(int(max_duty * n) - alpha_t, n - alpha_t)
+            if alpha_r < 1:
+                continue
+            res = construct_detailed(source, d, alpha_t, alpha_r,
+                                     balanced=balanced)
+            duty = res.schedule.average_duty_cycle()
+            if duty > Fraction(max_duty).limit_denominator(10**9):
+                continue
+            plan = Plan(
+                schedule=res.schedule,
+                family=name,
+                alpha_t=alpha_t,
+                alpha_r=alpha_r,
+                throughput=average_throughput(res.schedule, d),
+                duty_cycle=duty,
+                frame_length=res.schedule.frame_length,
+            )
+            if best is None or (plan.throughput, -plan.frame_length) > \
+                    (best.throughput, -best.frame_length):
+                best = plan
+    if best is None:
+        raise ValueError(
+            f"no ({'balanced ' if balanced else ''}alpha_T, alpha_R) choice "
+            f"fits duty budget {max_duty} for n={n} (need >= 2/n)"
+        )
+    return best

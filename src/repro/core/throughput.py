@@ -1,0 +1,295 @@
+"""Worst-case throughput theory (sections 5 and 7 of the paper).
+
+All quantities are exact rationals (:class:`fractions.Fraction`) so that
+the reproduction can assert the paper's *equalities* (Theorem 2's closed
+form, Theorem 7's frame length, Theorem 8's equality case) exactly rather
+than within floating-point tolerance.  Callers that want floats can wrap
+results in ``float``.
+
+Contents, keyed to the paper:
+
+========================  ====================================================
+:func:`guaranteed_slots`  the slot set ``T(x, y, S)`` above Definition 1
+:func:`min_throughput`    Definition 1 (exact adversarial ``S`` via
+                          branch-and-bound max-coverage, or sampled)
+:func:`average_throughput_bruteforce`  Definition 2 evaluated literally
+:func:`average_throughput`             Theorem 2's closed form
+:func:`g`                 the function ``g_{n,D}(x)`` of section 5
+:func:`g_upper_bound`     property (1): ``n D^D / ((n-D)(D+1)^{D+1})``
+:func:`optimal_transmitters_general`, :func:`general_upper_bound`  Theorem 3
+:func:`optimal_transmitters_constrained`, :func:`constrained_upper_bound`
+                          Theorem 4
+:func:`r_ratio`           the ratio function ``r(x)`` of section 7
+:func:`thm8_ratio_lower_bound`   Theorem 8's bound on
+                          ``Thr_ave(constructed) / Thr*``
+:func:`thm9_min_throughput_bound` Theorem 9's bound on the constructed
+                          schedule's minimum throughput
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import ceil, comb, floor
+
+import numpy as np
+
+from repro._validation import check_class_params, check_int
+from repro.combinatorics.coverfree import max_coverage
+from repro.core.schedule import Schedule
+from repro.core.transparency import free_slots
+
+__all__ = [
+    "guaranteed_slots",
+    "min_throughput",
+    "average_throughput",
+    "average_throughput_bruteforce",
+    "g",
+    "g_upper_bound",
+    "optimal_transmitters_general",
+    "general_upper_bound",
+    "optimal_transmitters_constrained",
+    "constrained_upper_bound",
+    "r_ratio",
+    "thm8_ratio_lower_bound",
+    "thm9_min_throughput_bound",
+]
+
+
+def guaranteed_slots(schedule: Schedule, x: int, y: int, others: tuple[int, ...]
+                     ) -> int:
+    """``T(x, y, S) = recv(y) & freeSlots(x, {y} | S)`` as a slot bitmask.
+
+    The slots in which a transmission from *x* to *y* is guaranteed to
+    succeed when *y*'s neighbourhood is ``{x} | S``.
+    """
+    return schedule.recv_mask(y) & free_slots(schedule, x, (y, *others))
+
+
+def min_throughput(schedule: Schedule, d: int, *, exact: bool = True,
+                   samples: int = 200,
+                   rng: np.random.Generator | None = None) -> Fraction:
+    """Definition 1: the minimum worst-case throughput in ``N_n^D``.
+
+    ``min over (x, y, S) of |T(x, y, S)| / L`` with ``|S| = D - 1``.  The
+    adversarial neighbourhood ``S`` maximizes the number of ``sigma(x, y)``
+    slots covered by interferers; with ``exact=True`` that maximum is found
+    by exact branch-and-bound (:func:`repro.combinatorics.coverfree.max_coverage`),
+    otherwise it is estimated from random samples of ``S`` (yielding an
+    upper bound on the true minimum).
+    """
+    n, d = check_class_params(schedule.n, d)  # D <= n-1 gives |S| = D-1 <= n-2
+    length = schedule.frame_length
+    best: Fraction | None = None
+    rng = rng if rng is not None else np.random.default_rng()
+    for x in range(n):
+        for y in range(n):
+            if y == x:
+                continue
+            target = schedule.tran_mask(x) & schedule.recv_mask(y)
+            if target == 0:
+                return Fraction(0)
+            others = [z for z in range(n) if z != x and z != y]
+            masks = [schedule.tran_mask(z) & target for z in others]
+            if exact:
+                covered = max_coverage(target, masks, d - 1)
+            else:
+                covered = 0
+                for _ in range(samples):
+                    chosen = rng.choice(len(others), size=d - 1, replace=False)
+                    union = 0
+                    for c in chosen:
+                        union |= masks[int(c)]
+                    covered = max(covered, union.bit_count())
+            value = Fraction(target.bit_count() - covered, length)
+            if best is None or value < best:
+                best = value
+                if best == 0:
+                    return best
+    assert best is not None
+    return best
+
+
+def average_throughput(schedule: Schedule, d: int) -> Fraction:
+    """Theorem 2's closed form for the average worst-case throughput.
+
+    ``Thr_ave = sum_i |T[i]| |R[i]| C(n - |T[i]| - 1, D - 1)
+    / (n (n-1) C(n-2, D-1) L)``.  Depends only on the per-slot transmitter
+    and receiver *counts* — the paper's central structural observation.
+    """
+    n, d = check_class_params(schedule.n, d)
+    length = schedule.frame_length
+    total = 0
+    for t_count, r_count in zip(schedule.tx_counts, schedule.rx_counts):
+        if t_count == n:
+            continue  # |R[i]| == 0, so the slot contributes nothing
+        total += t_count * r_count * comb(n - t_count - 1, d - 1)
+    return Fraction(total, n * (n - 1) * comb(n - 2, d - 1) * length)
+
+
+def average_throughput_bruteforce(schedule: Schedule, d: int) -> Fraction:
+    """Definition 2 evaluated literally (sums over all ``(x, y, S)``).
+
+    Exponential in ``D``; exists to cross-validate Theorem 2's closed form
+    in the tests and benchmarks (experiment E2).
+    """
+    n, d = check_class_params(schedule.n, d)
+    length = schedule.frame_length
+    total = 0
+    for x in range(n):
+        for y in range(n):
+            if y == x:
+                continue
+            others = [z for z in range(n) if z != x and z != y]
+            for combo in combinations(others, d - 1):
+                total += guaranteed_slots(schedule, x, y, combo).bit_count()
+    return Fraction(total, n * (n - 1) * comb(n - 2, d - 1) * length)
+
+
+def g(n: int, d: int, x: int) -> Fraction:
+    """The function ``g_{n,D}(x) = x C(n-x, D) / (n C(n-1, D))`` of section 5.
+
+    Interpreted as the average worst-case throughput of a non-sleeping
+    schedule whose every slot has exactly *x* transmitters.
+    """
+    n, d = check_class_params(n, d)
+    x = check_int(x, "x", minimum=0, maximum=n)
+    return Fraction(x * comb(n - x, d), n * comb(n - 1, d))
+
+
+def g_upper_bound(n: int, d: int) -> Fraction:
+    """Property (1) of ``g``: ``g_{n,D}(x) <= n D^D / ((n-D)(D+1)^{D+1})``."""
+    n, d = check_class_params(n, d)
+    return Fraction(n * d**d, (n - d) * (d + 1) ** (d + 1))
+
+
+def optimal_transmitters_general(n: int, d: int) -> int:
+    """Theorem 3's ``alpha_T*``: the per-slot transmitter count maximizing ``g``.
+
+    One of ``floor((n-D)/(D+1))`` and ``ceil((n-D)/(D+1))``, chosen by the
+    paper's explicit comparison of ``x C(n-x, D)``.
+    """
+    n, d = check_class_params(n, d)
+    fl = floor(Fraction(n - d, d + 1))
+    ce = ceil(Fraction(n - d, d + 1))
+    if fl * comb(n - fl, d) >= ce * comb(n - ce, d):
+        return fl
+    return ce
+
+
+def general_upper_bound(n: int, d: int) -> Fraction:
+    """Theorem 3's upper bound ``Thr* = g_{n,D}(alpha_T*)`` on any schedule.
+
+    Attained exactly by non-sleeping schedules with ``|T[i]| = alpha_T*``
+    (hence ``|R[i]| = n - alpha_T*``) in every slot.
+    """
+    return g(n, d, optimal_transmitters_general(n, d))
+
+
+def optimal_transmitters_constrained(n: int, d: int, alpha_t: int) -> int:
+    """Theorem 4's ``alpha_T* = min(alpha_T, alpha)`` for ``(aT, aR)``-schedules.
+
+    ``alpha`` is the unconstrained maximizer of ``x C(n-x-1, D-1)``, one of
+    ``floor((n-D)/D)`` and ``ceil((n-D)/D)`` by the paper's comparison.
+    """
+    n, d = check_class_params(n, d)
+    alpha_t = check_int(alpha_t, "alpha_t", minimum=1)
+    fl = floor(Fraction(n - d, d))
+    ce = ceil(Fraction(n - d, d))
+    if fl * comb(n - fl - 1, d - 1) >= ce * comb(n - ce - 1, d - 1):
+        alpha = fl
+    else:
+        alpha = ce
+    return min(alpha_t, alpha)
+
+
+def constrained_upper_bound(n: int, d: int, alpha_t: int, alpha_r: int) -> Fraction:
+    """Theorem 4's bound ``Thr*_{aR,aT}`` on any ``(alpha_T, alpha_R)``-schedule.
+
+    ``alpha_R alpha_T* C(n - alpha_T* - 1, D-1) / (n (n-1) C(n-2, D-1))``;
+    attained iff every slot has exactly ``alpha_T*`` transmitters and
+    ``alpha_R`` receivers.
+    """
+    n, d = check_class_params(n, d)
+    alpha_r = check_int(alpha_r, "alpha_r", minimum=1)
+    at_star = optimal_transmitters_constrained(n, d, alpha_t)
+    return Fraction(
+        alpha_r * at_star * comb(n - at_star - 1, d - 1),
+        n * (n - 1) * comb(n - 2, d - 1),
+    )
+
+
+def r_ratio(n: int, d: int, alpha_t_star: int, x: int) -> Fraction:
+    """The section 7 ratio ``r(x) = (x / aT*) prod_{i=1}^{D-1} (n-i-x)/(n-i-aT*)``.
+
+    ``r(|T[i]|)`` measures how close a slot with ``|T[i]|`` transmitters
+    (and a full complement of ``alpha_R`` receivers) comes to the optimal
+    per-slot contribution; ``r(alpha_T*) == 1``.
+    """
+    n, d = check_class_params(n, d)
+    alpha_t_star = check_int(alpha_t_star, "alpha_t_star", minimum=1, maximum=n - 1)
+    x = check_int(x, "x", minimum=0, maximum=n)
+    value = Fraction(x, alpha_t_star)
+    for i in range(1, d):
+        denom = n - i - alpha_t_star
+        if denom <= 0:
+            raise ValueError(
+                f"r(x) undefined: n - {i} - alpha_T* = {denom} <= 0 "
+                f"(alpha_T*={alpha_t_star} too large for n={n}, D={d})"
+            )
+        value *= Fraction(n - i - x, denom)
+    return value
+
+
+def thm8_ratio_lower_bound(source: Schedule, d: int, alpha_t: int, alpha_r: int
+                           ) -> Fraction:
+    """Theorem 8's lower bound on ``Thr_ave(constructed) / Thr*_{aT,aR}``.
+
+    *source* is the topology-transparent non-sleeping schedule fed to the
+    Figure 2 construction.  With ``Min = min_i |T[i]|``,
+    ``A1 = {i : |T[i]| < aT*}``, ``A2 = {i : |T[i]| >= aT*}`` and
+    ``c = (ceil(n / alpha_m) - 1) / ceil((n - Min) / aR)`` where
+    ``alpha_m = max(aT*, aR)``, the bound is
+    ``(r(Min) |A1| + c |A2|) / (|A1| + c |A2|)``; it equals 1 (optimality)
+    when ``Min >= alpha_T*``.
+    """
+    n, d = check_class_params(source.n, d)
+    alpha_r = check_int(alpha_r, "alpha_r", minimum=1)
+    at_star = optimal_transmitters_constrained(n, d, alpha_t)
+    counts = source.tx_counts
+    minimum = min(counts)
+    a1 = sum(1 for c in counts if c < at_star)
+    a2 = len(counts) - a1
+    if a1 == 0:
+        return Fraction(1)
+    alpha_m = max(at_star, alpha_r)
+    c = Fraction(ceil(Fraction(n, alpha_m)) - 1, ceil(Fraction(n - minimum, alpha_r)))
+    r_min = r_ratio(n, d, at_star, minimum)
+    return (r_min * a1 + c * a2) / (a1 + c * a2)
+
+
+def thm9_min_throughput_bound(source: Schedule, d: int, alpha_t: int, alpha_r: int,
+                              constructed_length: int | None = None) -> Fraction:
+    """Theorem 9's lower bound on the constructed schedule's minimum throughput.
+
+    ``Thr_min(constructed) >= (L / L_bar) Thr_min(source)
+    >= Thr_min(source) / (ceil(Max / aT*) ceil((n - Min) / aR))``.
+
+    When *constructed_length* (``L_bar``) is given, the sharper first form
+    is returned; otherwise the closed-form second bound.  Note the minimum
+    throughput of *source* is computed exactly (adversarial ``S``).
+    """
+    n, d = check_class_params(source.n, d)
+    alpha_r = check_int(alpha_r, "alpha_r", minimum=1)
+    at_star = optimal_transmitters_constrained(n, d, alpha_t)
+    thr_min = min_throughput(source, d, exact=True)
+    if constructed_length is not None:
+        constructed_length = check_int(constructed_length, "constructed_length",
+                                       minimum=1)
+        return Fraction(source.frame_length, constructed_length) * thr_min
+    counts = source.tx_counts
+    expansion = ceil(Fraction(max(counts), at_star)) * ceil(
+        Fraction(n - min(counts), alpha_r)
+    )
+    return thr_min / expansion

@@ -1,0 +1,216 @@
+"""Topology-transparency requirements (section 4 of the paper).
+
+Implements ``freeSlots``, ``sigma`` and the three requirements:
+
+* **Requirement 1** (Colbourn/Ling/Syrotiuk) — for *non-sleeping*
+  schedules: ``freeSlots(x, Y)`` nonempty for every node ``x`` and every
+  ``D``-set ``Y``; equivalently, the ``tran(x)`` family is ``D``-cover-free.
+* **Requirement 2** (Dukes/Colbourn/Syrotiuk) — for general schedules: no
+  union of up to ``D - 1`` interferers' ``sigma`` sets covers
+  ``sigma(x, y)``.
+* **Requirement 3** (this paper) — the equivalent reformulation exposing
+  the non-sleeping schedule inside a duty-cycled one: condition (1) says
+  ``<T>`` is topology-transparent; condition (2) says every potential
+  neighbour is awake in at least one free slot.
+
+Checking strategies
+-------------------
+The definitional checks enumerate ``D``-subsets — exponential in ``D`` but
+exact, and exactly what the tests cross-validate against.  The workhorse
+checker :func:`is_topology_transparent` reformulates Requirement 2 per node
+pair as a bounded set-cover question ("can ``D - 1`` interferers cover
+``sigma(x, y)``?") answered by the exact branch-and-bound of
+:func:`repro.combinatorics.coverfree.can_cover`; a randomized refuter
+handles instances beyond exact reach.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from repro._validation import check_class_params, check_int
+from repro.combinatorics.coverfree import can_cover
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "free_slots",
+    "sigma",
+    "satisfies_requirement1",
+    "satisfies_requirement2",
+    "satisfies_requirement3",
+    "is_topology_transparent",
+    "find_transparency_violation",
+]
+
+
+def free_slots(schedule: Schedule, x: int, nodes: Iterable[int]) -> int:
+    """``freeSlots(x, Y) = tran(x) - union of tran(y) for y in Y`` as a slot bitmask.
+
+    These are the slots in which *x* is the only allowed transmitter among
+    ``{x} | Y`` — the slots where *x* is guaranteed collision-free at any
+    receiver whose other neighbours all lie in ``Y``.
+    """
+    mask = schedule.tran_mask(x)
+    for y in nodes:
+        mask &= ~schedule.tran_mask(y)
+    return mask
+
+
+def sigma(schedule: Schedule, a: int, b: int) -> int:
+    """``sigma(a, b) = tran(a) & recv(b)``: slots where *a* may reach *b*."""
+    return schedule.tran_mask(a) & schedule.recv_mask(b)
+
+
+def satisfies_requirement1(schedule: Schedule, d: int) -> bool:
+    """Requirement 1: the non-sleeping schedule ``<T>`` is topology-transparent.
+
+    Checks ``freeSlots(x, Y) != 0`` for every node ``x`` and every ``D``-set
+    ``Y`` of other nodes — i.e. that no ``D`` transmission-slot sets cover
+    another.  Exact via branch-and-bound set cover (no subset enumeration).
+    Applies to any schedule's transmission half; receiver sets are ignored.
+    """
+    n, d = check_class_params(schedule.n, d)
+    trans = [schedule.tran_mask(x) for x in range(n)]
+    for x in range(n):
+        if trans[x] == 0:
+            return False
+        others = [trans[y] for y in range(n) if y != x]
+        if can_cover(trans[x], others, d):
+            return False
+    return True
+
+
+def satisfies_requirement2(schedule: Schedule, d: int) -> bool:
+    """Requirement 2 (Dukes et al.), checked by its literal definition.
+
+    For every ordered pair ``(x, y)`` and every set of ``d' <= D - 1``
+    interferers, the union of their ``sigma(., y)`` must not contain
+    ``sigma(x, y)``.  Because the union grows with more interferers it
+    suffices to check ``d' = min(D - 1, n - 2)`` together with the empty
+    set (which requires ``sigma(x, y) != 0``).  Exponential in ``D``;
+    intended for tests and small instances.
+    """
+    n, d = check_class_params(schedule.n, d)
+    r = min(d - 1, n - 2)
+    for x in range(n):
+        for y in range(n):
+            if y == x:
+                continue
+            target = sigma(schedule, x, y)
+            if target == 0:
+                return False
+            others = [z for z in range(n) if z != x and z != y]
+            for combo in combinations(others, r):
+                union = 0
+                for z in combo:
+                    union |= sigma(schedule, z, y)
+                if target & ~union == 0:
+                    return False
+    return True
+
+
+def satisfies_requirement3(schedule: Schedule, d: int) -> bool:
+    """Requirement 3 (this paper), checked by its literal definition.
+
+    For every node ``x`` and every ``D``-set ``Y = {y_0..y_{D-1}}``:
+    (1) ``freeSlots(x, Y)`` is nonempty, and (2) every ``y_k`` is
+    receive-eligible in at least one free slot.  Exponential in ``D``;
+    intended for tests and small instances (Theorem 1 says this agrees
+    with :func:`satisfies_requirement2` — property-tested).
+    """
+    n, d = check_class_params(schedule.n, d)
+    for x in range(n):
+        others = [z for z in range(n) if z != x]
+        for combo in combinations(others, d):
+            free = free_slots(schedule, x, combo)
+            if free == 0:
+                return False
+            for y in combo:
+                if schedule.recv_mask(y) & free == 0:
+                    return False
+    return True
+
+
+def _pair_coverable(schedule: Schedule, x: int, y: int, r: int) -> bool:
+    """Can ``r`` interferers cover ``sigma(x, y)``?  (Requirement 2 core.)"""
+    target = sigma(schedule, x, y)
+    if target == 0:
+        return True  # covered by the empty union already
+    candidates = [
+        schedule.tran_mask(z) & target
+        for z in range(schedule.n)
+        if z != x and z != y
+    ]
+    return can_cover(target, candidates, r)
+
+
+def is_topology_transparent(schedule: Schedule, d: int, *,
+                            method: str = "exact",
+                            samples: int = 5000,
+                            rng: np.random.Generator | None = None) -> bool:
+    """Decide topology transparency of *schedule* for the class ``N_n^D``.
+
+    ``method='exact'`` answers the Requirement 2 cover question per ordered
+    node pair with an exact branch-and-bound — a true decision procedure
+    that scales far beyond the definitional subset enumerations.
+
+    ``method='sampled'`` only *refutes*: it samples random ``(x, Y)``
+    neighbourhoods and returns False on any violation; True means "no
+    violation found in *samples* trials".
+    """
+    n, d = check_class_params(schedule.n, d)
+    r = min(d - 1, n - 2)
+    if method == "exact":
+        for x in range(n):
+            for y in range(n):
+                if y != x and _pair_coverable(schedule, x, y, r):
+                    return False
+        return True
+    if method == "sampled":
+        rng = rng if rng is not None else np.random.default_rng()
+        for _ in range(samples):
+            x = int(rng.integers(n))
+            y = int(rng.integers(n - 1))
+            y += 1 if y >= x else 0
+            others = [z for z in range(n) if z != x and z != y]
+            chosen = rng.choice(len(others), size=r, replace=False)
+            target = sigma(schedule, x, y)
+            union = 0
+            for c in chosen:
+                union |= schedule.tran_mask(others[int(c)])
+            if target & ~union == 0:
+                return False
+        return True
+    raise ValueError(f"unknown method {method!r}; expected 'exact' or 'sampled'")
+
+
+def find_transparency_violation(schedule: Schedule, d: int
+                                ) -> tuple[int, int, tuple[int, ...]] | None:
+    """Return a witness ``(x, y, interferers)`` violating Requirement 2, or None.
+
+    The witness means: with ``y``'s other neighbours set to *interferers*,
+    node ``x`` has no slot in which it can reach ``y`` collision-free.
+    Exhaustive over interferer subsets for the failing pair; exact.
+    """
+    n, d = check_class_params(schedule.n, d)
+    r = min(d - 1, n - 2)
+    for x in range(n):
+        for y in range(n):
+            if y == x:
+                continue
+            target = sigma(schedule, x, y)
+            if target == 0:
+                return (x, y, ())
+            if not _pair_coverable(schedule, x, y, r):
+                continue
+            others = [z for z in range(n) if z != x and z != y]
+            for combo in combinations(others, r):
+                union = 0
+                for z in combo:
+                    union |= sigma(schedule, z, y)
+                if target & ~union == 0:
+                    return (x, y, combo)
+    return None

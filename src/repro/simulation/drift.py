@@ -1,0 +1,54 @@
+"""Bounded clock-drift probe.
+
+The paper assumes "an efficient synchronization scheme is available"
+(section 1) and reasons in perfectly aligned slots.  This module supplies
+the substitution's honesty check: a per-node integer slot offset, bounded
+by ``max_offset``, that shifts which frame position each node *believes*
+the current slot to be.  With offsets of zero the simulator reproduces the
+paper's model exactly; growing the bound shows how fast the guarantees
+erode when the synchrony assumption weakens (experiment E9 option).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_int
+
+__all__ = ["ClockDrift"]
+
+
+@dataclass(frozen=True)
+class ClockDrift:
+    """Static per-node slot offsets drawn uniformly from ``[-max_offset, max_offset]``."""
+
+    offsets: tuple[int, ...]
+
+    @classmethod
+    def none(cls, n: int) -> "ClockDrift":
+        """Perfect synchrony: all offsets zero (the paper's model)."""
+        check_int(n, "n", minimum=1)
+        return cls(tuple([0] * n))
+
+    @classmethod
+    def uniform(cls, n: int, max_offset: int,
+                rng: np.random.Generator | None = None) -> "ClockDrift":
+        """Independent offsets uniform on ``[-max_offset, max_offset]``."""
+        check_int(n, "n", minimum=1)
+        check_int(max_offset, "max_offset", minimum=0)
+        rng = rng if rng is not None else np.random.default_rng()
+        offs = rng.integers(-max_offset, max_offset + 1, size=n)
+        return cls(tuple(int(o) for o in offs))
+
+    def local_slot(self, node: int, true_slot: int, frame_length: int) -> int:
+        """The frame position *node* believes *true_slot* occupies."""
+        check_int(true_slot, "true_slot", minimum=0)
+        check_int(frame_length, "frame_length", minimum=1)
+        return (true_slot + self.offsets[node]) % frame_length
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True iff every offset is zero."""
+        return all(o == 0 for o in self.offsets)

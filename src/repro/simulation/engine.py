@@ -1,0 +1,298 @@
+"""The slot-synchronous simulation engine.
+
+Implements exactly the system model of the paper's section 3 plus the
+collision rule of its transparency definition: in every slot, nodes in
+``T[i]`` may transmit, nodes in ``R[i]`` listen, everyone else sleeps, and
+a listener receives iff **exactly one** of its neighbours transmits in that
+slot (no capture, no fading — the paper's model has neither).
+
+Two operating modes:
+
+* **Saturated** (worst case, section 5): every transmit-eligible node
+  transmits in every eligible slot, and every listening neighbour that
+  hears it alone counts a per-link success.  Per-frame per-link success
+  counts then equal the analytic quantity ``|T(x, y, S)|`` with ``S`` the
+  receiver's true other-neighbour set — the bridge between theory and
+  simulation that experiment E8 checks exactly.
+
+* **Queued** (Poisson / periodic-sensing traffic): nodes hold FIFO packet
+  queues; a transmit-eligible node sends the first queued packet whose
+  next hop is listening this slot (receiver-aware duty-cycling — "a node
+  has to wait until the receiver wakes up", section 1).  Deliveries,
+  end-to-end latencies and drops are recorded; multi-hop packets follow a
+  sink tree.
+
+A :class:`repro.simulation.drift.ClockDrift` lets each node disagree about
+the current frame position, probing the paper's synchrony assumption.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_int, check_probability
+from repro.core.schedule import Schedule
+from repro.simulation.drift import ClockDrift
+from repro.simulation.energy import EnergyAccount, EnergyModel, RadioState
+from repro.simulation.metrics import Metrics
+from repro.simulation.topology import Topology
+
+__all__ = ["Packet", "Simulator"]
+
+
+@dataclass
+class Packet:
+    """A unit of traffic traversing the network hop by hop."""
+
+    pid: int
+    src: int
+    final_dst: int
+    created: int
+    next_hop: int
+
+
+class Simulator:
+    """Slot-synchronous simulator binding a topology to a schedule.
+
+    Parameters
+    ----------
+    topology:
+        The network; must satisfy ``topology.n <= schedule.n`` (schedules
+        are built for the class bound ``n``, networks may be smaller).
+    schedule:
+        Any :class:`repro.core.schedule.Schedule` (duty-cycled or not).
+    traffic:
+        A generator from :mod:`repro.simulation.traffic`; its
+        ``saturated`` attribute selects the operating mode.
+    energy_model:
+        Per-slot radio costs; accounting accumulates in :attr:`energy`.
+    next_hops:
+        Forwarding table for multi-hop traffic (``dict node -> parent``);
+        required when traffic emits non-adjacent final destinations.
+    drift:
+        Optional :class:`ClockDrift`; defaults to perfect synchrony.
+    queue_limit:
+        Per-node queue capacity; arrivals beyond it are dropped (counted).
+    idle_transmitters_sleep:
+        Whether a transmit-eligible node with nothing to send powers down
+        (default) or burns idle-listening energy.
+    capture_probability:
+        Probability that a collision resolves to one random talker being
+        received anyway (capture effect).  Default 0.0 — the paper's model,
+        in which every collision destroys all frames; nonzero values are a
+        robustness probe only.
+    rng:
+        Random source for the capture lottery.
+    """
+
+    def __init__(self, topology: Topology, schedule: Schedule, traffic,
+                 *, energy_model: EnergyModel | None = None,
+                 next_hops: dict[int, int] | None = None,
+                 drift: ClockDrift | None = None,
+                 queue_limit: int = 64,
+                 idle_transmitters_sleep: bool = True,
+                 capture_probability: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if topology.n > schedule.n:
+            raise ValueError(
+                f"topology has {topology.n} nodes but the schedule only "
+                f"covers {schedule.n}"
+            )
+        self.topology = topology
+        self.schedule = schedule
+        self.traffic = traffic
+        self.energy = EnergyAccount(topology.n, energy_model or EnergyModel())
+        self.next_hops = next_hops or {}
+        self.drift = drift or ClockDrift.none(topology.n)
+        self.queue_limit = check_int(queue_limit, "queue_limit", minimum=1)
+        self.idle_transmitters_sleep = idle_transmitters_sleep
+        self.capture_probability = check_probability(
+            capture_probability, "capture_probability")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.metrics = Metrics()
+        self.queues: list[deque[Packet]] = [deque() for _ in range(topology.n)]
+        self._pid = itertools.count()
+        self._slot = 0
+        # Profiled hot path: under perfect synchrony every node agrees on
+        # the frame position and the schedule is immutable, so per-slot
+        # eligibility is cached per frame position instead of recomputed.
+        self._sync = self.drift.is_synchronous
+        self._elig_cache: dict[int, tuple[list[bool], list[bool]]] = {}
+        # Radio wakeup accounting: who was awake last slot.
+        self._was_awake = [False] * topology.n
+
+    def _eligibility(self, slot: int) -> tuple[list[bool], list[bool]]:
+        """Per-node (tx_eligible, listening) flags for this true slot."""
+        n = self.topology.n
+        length = self.schedule.frame_length
+        if self._sync:
+            pos = slot % length
+            cached = self._elig_cache.get(pos)
+            if cached is None:
+                tx_mask = self.schedule.tx[pos]
+                rx_mask = self.schedule.rx[pos]
+                cached = (
+                    [bool(tx_mask >> x & 1) for x in range(n)],
+                    [bool(rx_mask >> x & 1) for x in range(n)],
+                )
+                self._elig_cache[pos] = cached
+            return cached
+        local = [self.drift.local_slot(x, slot, length) for x in range(n)]
+        return (
+            [bool(self.schedule.tx[local[x]] >> x & 1) for x in range(n)],
+            [bool(self.schedule.rx[local[x]] >> x & 1) for x in range(n)],
+        )
+
+    # ------------------------------------------------------------------
+    def _route(self, holder: int, final_dst: int) -> int | None:
+        """Next hop for a packet at *holder* bound for *final_dst*."""
+        if final_dst in self.topology.neighbors(holder):
+            return final_dst
+        hop = self.next_hops.get(holder)
+        return hop
+
+    def _enqueue(self, node: int, packet: Packet) -> None:
+        if len(self.queues[node]) >= self.queue_limit:
+            self.metrics.dropped += 1
+            return
+        self.queues[node].append(packet)
+
+    def _admit_arrivals(self, slot: int) -> None:
+        for src, final_dst in self.traffic.arrivals(slot):
+            self.metrics.generated += 1
+            hop = self._route(src, final_dst)
+            if hop is None:
+                self.metrics.dropped += 1
+                continue
+            self._enqueue(src, Packet(next(self._pid), src, final_dst, slot, hop))
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one slot."""
+        slot = self._slot
+        n = self.topology.n
+        length = self.schedule.frame_length
+        if not self.traffic.saturated:
+            self._admit_arrivals(slot)
+
+        # Per-node beliefs about the current frame position (cached when
+        # all clocks agree).
+        tx_eligible, listening = self._eligibility(slot)
+
+        transmissions: dict[int, Packet | None] = {}
+        if self.traffic.saturated:
+            for x in range(n):
+                if tx_eligible[x] and self.topology.degree(x) > 0:
+                    transmissions[x] = None  # broadcast measurement frame
+                    for y in self.topology.neighbors(x):
+                        self.metrics.record_attempt(x, y)
+        else:
+            for x in range(n):
+                if not tx_eligible[x] or not self.queues[x]:
+                    continue
+                # Receiver-aware send: first queued packet whose next hop
+                # listens this slot (by the *receiver's* clock).
+                queue = self.queues[x]
+                chosen = None
+                for idx, pkt in enumerate(queue):
+                    if listening[pkt.next_hop]:
+                        chosen = idx
+                        break
+                if chosen is None:
+                    continue
+                pkt = queue[chosen]
+                del queue[chosen]
+                transmissions[x] = pkt
+                self.metrics.record_attempt(x, pkt.next_hop)
+
+        # Collision resolution at every listener.
+        received: dict[int, tuple[int, Packet | None]] = {}
+        for y in range(n):
+            if not listening[y]:
+                continue
+            talkers = [x for x in self.topology.neighbors(y) if x in transmissions]
+            if len(talkers) > 1:
+                self.metrics.record_collision(y)
+                # Optional capture effect (robustness probe; the paper's
+                # model has none): one random talker survives the pile-up.
+                if self.capture_probability > 0.0 and \
+                        self.rng.random() < self.capture_probability:
+                    winner = talkers[int(self.rng.integers(len(talkers)))]
+                    received[y] = (winner, transmissions[winner])
+            elif len(talkers) == 1:
+                received[y] = (talkers[0], transmissions[talkers[0]])
+
+        handed_off: set[int] = set()
+        for y, (x, pkt) in received.items():
+            if pkt is None:
+                # Saturated measurement mode: every clean reception is a
+                # per-link success.
+                self.metrics.record_success(x, y)
+                continue
+            if pkt.next_hop != y:
+                continue  # overheard a frame meant for someone else
+            handed_off.add(pkt.pid)
+            self.metrics.record_success(x, y)
+            if y == pkt.final_dst:
+                # Latency counts occupied slots: a packet born and delivered
+                # in the same slot spent one slot in the air.
+                self.metrics.record_delivery(slot - pkt.created + 1)
+            else:
+                hop = self._route(y, pkt.final_dst)
+                if hop is None:
+                    self.metrics.dropped += 1
+                else:
+                    pkt.next_hop = hop
+                    self._enqueue(y, pkt)
+
+        # In queued mode an unheard unicast stays with the sender: the
+        # packet was removed above, so requeue at the front on failure
+        # (including when only bystanders overheard it).
+        if not self.traffic.saturated:
+            for x, pkt in transmissions.items():
+                if pkt is not None and pkt.pid not in handed_off:
+                    self.queues[x].appendleft(pkt)
+
+        # Energy accounting, including the sleep->awake startup cost.
+        for x in range(n):
+            if x in transmissions:
+                awake = True
+                self.energy.charge(x, RadioState.TRANSMIT)
+            elif listening[x]:
+                awake = True
+                self.energy.charge(x, RadioState.RECEIVE)
+            elif tx_eligible[x] and not self.idle_transmitters_sleep:
+                awake = True
+                self.energy.charge(x, RadioState.IDLE)
+            else:
+                awake = False
+                self.energy.charge(x, RadioState.SLEEP)
+            if awake and not self._was_awake[x]:
+                self.energy.charge_wakeup(x)
+            self._was_awake[x] = awake
+
+        self._slot += 1
+        self.metrics.slots = self._slot
+
+    def run(self, frames: int) -> Metrics:
+        """Simulate *frames* whole schedule frames; returns the metrics."""
+        frames = check_int(frames, "frames", minimum=1)
+        for _ in range(frames * self.schedule.frame_length):
+            self.step()
+        return self.metrics
+
+    def run_slots(self, slots: int) -> Metrics:
+        """Simulate an exact number of slots (not necessarily whole frames)."""
+        slots = check_int(slots, "slots", minimum=1)
+        for _ in range(slots):
+            self.step()
+        return self.metrics
+
+    @property
+    def pending_packets(self) -> int:
+        """Packets currently queued anywhere in the network."""
+        return sum(len(q) for q in self.queues)

@@ -1,0 +1,109 @@
+"""Delivery, throughput and latency bookkeeping for simulation runs."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import check_int
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated by :class:`repro.simulation.engine.Simulator`.
+
+    Attributes
+    ----------
+    slots:
+        Number of simulated slots.
+    attempts:
+        Per-directed-link transmission attempts ``(src, dst) -> count``.
+    successes:
+        Per-directed-link successful receptions.
+    collisions:
+        Per-receiver count of slots in which it listened and >= 2
+        neighbours transmitted.
+    generated / delivered:
+        End-to-end packet counts (delivered means reached its *final*
+        destination).
+    latencies:
+        End-to-end delivery latencies in slots.
+    """
+
+    slots: int = 0
+    attempts: dict[tuple[int, int], int] = field(default_factory=lambda: defaultdict(int))
+    successes: dict[tuple[int, int], int] = field(default_factory=lambda: defaultdict(int))
+    collisions: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    generated: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    # -- recording (engine-facing) ------------------------------------------
+    def record_attempt(self, src: int, dst: int) -> None:
+        """Count a transmission attempt on directed link (src, dst)."""
+        self.attempts[(src, dst)] += 1
+
+    def record_success(self, src: int, dst: int) -> None:
+        """Count a successful reception on directed link (src, dst)."""
+        self.successes[(src, dst)] += 1
+
+    def record_collision(self, receiver: int) -> None:
+        """Count a slot in which *receiver* heard >= 2 transmitters."""
+        self.collisions[receiver] += 1
+
+    def record_delivery(self, latency: int) -> None:
+        """Count an end-to-end delivery with the given latency in slots."""
+        check_int(latency, "latency", minimum=0)
+        self.delivered += 1
+        self.latencies.append(latency)
+
+    # -- reporting ------------------------------------------------------------
+    def link_success_rate(self, src: int, dst: int) -> float:
+        """Successes per attempt on directed link ``(src, dst)`` (0 if unused)."""
+        a = self.attempts.get((src, dst), 0)
+        return self.successes.get((src, dst), 0) / a if a else 0.0
+
+    def link_throughput(self, src: int, dst: int, frame_length: int) -> float:
+        """Successful receptions per frame on directed link ``(src, dst)``."""
+        check_int(frame_length, "frame_length", minimum=1)
+        frames = self.slots / frame_length
+        if frames == 0:
+            return 0.0
+        return self.successes.get((src, dst), 0) / frames
+
+    def min_link_throughput(self, links, frame_length: int) -> float:
+        """Minimum per-frame success count over the given directed links."""
+        return min(
+            (self.link_throughput(s, d, frame_length) for s, d in links),
+            default=0.0,
+        )
+
+    def mean_link_throughput(self, links, frame_length: int) -> float:
+        """Mean per-frame success count over the given directed links."""
+        values = [self.link_throughput(s, d, frame_length) for s, d in links]
+        return float(np.mean(values)) if values else 0.0
+
+    def delivery_ratio(self) -> float:
+        """Delivered / generated end-to-end packets (1.0 when none generated)."""
+        return self.delivered / self.generated if self.generated else 1.0
+
+    def latency_percentile(self, p: float) -> float:
+        """The *p*-th percentile of end-to-end latency in slots (NaN if empty)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), p))
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency in slots (NaN if no deliveries)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
+
+    def total_collisions(self) -> int:
+        """Total receiver-side collision events."""
+        return sum(self.collisions.values())

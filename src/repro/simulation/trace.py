@@ -1,0 +1,123 @@
+"""Per-slot event tracing for simulator debugging and inspection.
+
+The engine's metrics are aggregates; when a run misbehaves you want the
+slot-by-slot story.  :class:`TraceRecorder` hooks into a
+:class:`~repro.simulation.engine.Simulator` (post-step polling — the
+engine needs no changes) and records, per slot: who transmitted, who
+listened, which receptions succeeded and which collided.  Traces are
+bounded ring buffers and export to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._validation import check_int
+from repro.simulation.engine import Simulator
+
+__all__ = ["SlotEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class SlotEvent:
+    """What happened in one slot."""
+
+    slot: int
+    transmitters: tuple[int, ...]
+    listeners: tuple[int, ...]
+    successes: tuple[tuple[int, int], ...]   # (src, dst)
+    collisions: tuple[int, ...]              # receivers that heard >= 2
+
+
+class TraceRecorder:
+    """Bounded slot-event trace around a :class:`Simulator`.
+
+    Usage::
+
+        trace = TraceRecorder(sim, capacity=1000)
+        trace.run(frames=3)            # instead of sim.run(...)
+        trace.events[-1].successes
+        trace.to_csv("trace.csv")
+
+    The recorder re-derives per-slot facts from metric deltas, so it works
+    with any traffic mode and never perturbs the simulation.
+    """
+
+    def __init__(self, simulator: Simulator, *, capacity: int = 10_000):
+        self.simulator = simulator
+        self.capacity = check_int(capacity, "capacity", minimum=1)
+        self.events: deque[SlotEvent] = deque(maxlen=self.capacity)
+
+    def _snapshot_counts(self) -> tuple[dict, dict]:
+        metrics = self.simulator.metrics
+        return dict(metrics.successes), dict(metrics.collisions)
+
+    def step(self) -> SlotEvent:
+        """Advance the simulation one slot and record what happened."""
+        sim = self.simulator
+        slot = sim.metrics.slots
+        before_succ, before_coll = self._snapshot_counts()
+        # Eligibility as the nodes see it (drift-aware), before stepping.
+        length = sim.schedule.frame_length
+        n = sim.topology.n
+        local = [sim.drift.local_slot(x, slot, length) for x in range(n)]
+        listeners = tuple(
+            x for x in range(n) if sim.schedule.rx[local[x]] >> x & 1
+        )
+        sim.step()
+        after_succ, after_coll = self._snapshot_counts()
+        successes = tuple(
+            link for link in after_succ
+            if after_succ[link] > before_succ.get(link, 0)
+        )
+        collisions = tuple(
+            r for r in after_coll
+            if after_coll[r] > before_coll.get(r, 0)
+        )
+        # Transmitters: senders of this slot's successes are known exactly;
+        # for collided receivers the engine does not expose the talker set,
+        # so report the eligible transmitters among their neighbours.
+        transmitters = sorted({src for src, _ in successes})
+        for r in collisions:
+            for x in sim.topology.neighbors(r):
+                if sim.schedule.tx[local[x]] >> x & 1:
+                    transmitters.append(x)
+        event = SlotEvent(
+            slot=slot,
+            transmitters=tuple(sorted(set(transmitters))),
+            listeners=listeners,
+            successes=tuple(sorted(successes)),
+            collisions=tuple(sorted(collisions)),
+        )
+        self.events.append(event)
+        return event
+
+    def run(self, frames: int) -> None:
+        """Record *frames* whole frames."""
+        frames = check_int(frames, "frames", minimum=1)
+        for _ in range(frames * self.simulator.schedule.frame_length):
+            self.step()
+
+    def run_slots(self, slots: int) -> None:
+        """Record an exact number of slots."""
+        slots = check_int(slots, "slots", minimum=1)
+        for _ in range(slots):
+            self.step()
+
+    def to_csv(self, path: str | Path) -> None:
+        """Export the trace: one row per slot, sets as space-joined ids."""
+        with Path(path).open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["slot", "transmitters", "listeners",
+                             "successes", "collisions"])
+            for e in self.events:
+                writer.writerow([
+                    e.slot,
+                    " ".join(map(str, e.transmitters)),
+                    " ".join(map(str, e.listeners)),
+                    " ".join(f"{s}->{d}" for s, d in e.successes),
+                    " ".join(map(str, e.collisions)),
+                ])

@@ -1,0 +1,72 @@
+"""Text-mode figure renderers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert lines[0].startswith(" a |")  # labels right-justified
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="demo")
+        assert out.splitlines()[0] == "demo"
+
+    def test_zero_values(self):
+        out = bar_chart(["a", "b"], [0.0, 3.0], width=6)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_all_zero(self):
+        out = bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError, match="nothing"):
+            bar_chart([], [])
+
+
+class TestLinePlot:
+    def test_extremes_marked(self):
+        out = line_plot([0, 1, 2], [0.0, 5.0, 10.0], width=11, height=5)
+        lines = out.splitlines()
+        # Max point top-right, min point bottom-left.
+        assert lines[0].endswith("*")
+        assert "*" in lines[4]
+        assert "10" in lines[0]
+        assert lines[4].lstrip().startswith("0")
+
+    def test_title_and_axis_labels(self):
+        out = line_plot([1, 10], [2, 4], title="curve")
+        assert out.splitlines()[0] == "curve"
+        assert "1" in out and "10" in out
+
+    def test_log_scale(self):
+        out = line_plot([0, 1, 2], [1.0, 10.0, 100.0], log_y=True,
+                        width=10, height=5)
+        # On a log axis the three points are evenly spaced vertically.
+        rows = [i for i, line in enumerate(out.splitlines()) if "*" in line]
+        assert len(rows) == 3
+        assert rows[1] - rows[0] == rows[2] - rows[1]
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_plot([0, 1], [0.0, 1.0], log_y=True)
+
+    def test_flat_series(self):
+        out = line_plot([0, 1, 2], [5.0, 5.0, 5.0], width=9, height=4)
+        assert out.count("*") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="xs"):
+            line_plot([1], [1, 2])
+        with pytest.raises(ValueError, match="two points"):
+            line_plot([1], [1])

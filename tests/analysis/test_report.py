@@ -1,0 +1,60 @@
+"""Certification reports."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import certification_report
+from repro.core.construction import construct
+from repro.core.nonsleeping import polynomial_schedule
+from repro.core.schedule import Schedule
+
+
+class TestCertification:
+    def make(self):
+        return construct(polynomial_schedule(25, 3), 3, 4, 8)
+
+    def test_transparent_schedule(self):
+        rep = certification_report(self.make(), 3)
+        assert rep.transparent
+        assert rep.violation is None
+        assert rep.alpha_t == 4 and rep.alpha_r == 8
+        assert rep.optimality_ratio == 1  # Theorem 8 equality case
+        assert rep.minimum_throughput > 0
+        assert rep.duty_min <= rep.average_duty_cycle <= rep.duty_max
+
+    def test_markdown_rendering(self):
+        md = certification_report(self.make(), 3).to_markdown()
+        assert "# Schedule certificate" in md
+        assert "TRANSPARENT" in md
+        assert "provably optimal" in md
+        assert "duty cycle" in md
+
+    def test_non_transparent_schedule(self):
+        bad = Schedule.non_sleeping(5, [[0, 1], [2], [3]])
+        rep = certification_report(bad, 2)
+        assert not rep.transparent
+        assert rep.violation is not None
+        md = rep.to_markdown()
+        assert "NOT transparent" in md
+        assert "Witness" in md
+
+    def test_exact_latency_flag(self):
+        sched = construct(polynomial_schedule(9, 2, q=3, k=1), 2, 2, 4)
+        rep = certification_report(sched, 2, exact_latency=True)
+        assert rep.worst_access_delay is not None
+        assert 0 < rep.worst_access_delay <= rep.frame_delay_bound
+        assert "access delay" in rep.to_markdown()
+
+    def test_extras_rendered(self):
+        rep = certification_report(self.make(), 3,
+                                   extras={"campaign": "alpha"})
+        assert "campaign: alpha" in rep.to_markdown()
+
+    def test_ratio_is_exact_fraction(self):
+        rep = certification_report(self.make(), 3)
+        assert isinstance(rep.optimality_ratio, Fraction)
+
+    def test_class_params_validated(self):
+        with pytest.raises(ValueError):
+            certification_report(self.make(), 30)

@@ -1,0 +1,85 @@
+"""Statistical utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    Estimate,
+    replicate,
+    t_confidence_interval,
+    welch_t_test,
+)
+
+
+class TestConfidenceInterval:
+    def test_degenerate_zero_variance(self):
+        est = t_confidence_interval([3.0, 3.0, 3.0])
+        assert est.mean == 3.0
+        assert est.half_width == 0.0
+        assert est.low == est.high == 3.0
+
+    def test_known_small_sample(self):
+        # mean 2, sd 1, n=4 -> sem 0.5; t(0.975, df=3) ~ 3.1824.
+        est = t_confidence_interval([1.0, 2.0, 2.0, 3.0],
+                                    confidence=0.95)
+        assert est.mean == pytest.approx(2.0)
+        assert est.half_width == pytest.approx(3.1824 * 0.8165 / 2, rel=1e-3)
+
+    def test_coverage_monte_carlo(self):
+        """~95% of intervals should cover the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            xs = rng.normal(10.0, 2.0, size=12)
+            est = t_confidence_interval(xs)
+            if est.low <= 10.0 <= est.high:
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            t_confidence_interval([1.0])
+
+    def test_str(self):
+        assert "±" in str(Estimate(1.0, 0.1, (0.9, 1.1)))
+
+
+class TestReplicate:
+    def test_collects_metrics(self):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            return {"a": float(rng.normal(5.0)), "b": float(seed)}
+
+        out = replicate(run, seeds=[0, 1, 2, 3])
+        assert set(out) == {"a", "b"}
+        assert out["b"].mean == pytest.approx(1.5)
+
+    def test_mismatched_metrics_rejected(self):
+        def run(seed):
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError, match="expected"):
+            replicate(run, seeds=[0, 1])
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError, match="seeds"):
+            replicate(lambda s: {"a": 1.0}, seeds=[0])
+
+
+class TestWelch:
+    def test_clearly_different(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, size=30)
+        b = rng.normal(5.0, 1.0, size=30)
+        assert welch_t_test(a, b) < 1e-10
+
+    def test_same_distribution(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, size=30)
+        b = rng.normal(0.0, 1.0, size=30)
+        assert welch_t_test(a, b) > 0.01
+
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])

@@ -1,0 +1,31 @@
+"""Parameter sweep runner."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        records = sweep(lambda n, d: {"s": n + d}, n=[1, 2], d=[10, 20])
+        assert len(records) == 4
+        assert records[0] == {"n": 1, "d": 10, "s": 11}
+        assert records[-1] == {"n": 2, "d": 20, "s": 22}
+
+    def test_none_skips(self):
+        records = sweep(lambda n: None if n % 2 else {"half": n // 2},
+                        n=range(6))
+        assert [r["n"] for r in records] == [0, 2, 4]
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(ValueError, match="shadow"):
+            sweep(lambda n: {"n": 1}, n=[1])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep(lambda: {})
+
+    def test_order_is_row_major(self):
+        records = sweep(lambda a, b: {}, a=[1, 2], b=["x", "y"])
+        assert [(r["a"], r["b"]) for r in records] == \
+            [(1, "x"), (1, "y"), (2, "x"), (2, "y")]

@@ -1,0 +1,71 @@
+"""Result tables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_row_and_render(self):
+        t = Table("a", "b", title="demo")
+        t.row(a=1, b=2.5)
+        t.row(a=10, b=Fraction(1, 3))
+        out = t.render()
+        assert "demo" in out
+        assert "a" in out and "b" in out
+        assert "0.333333" in out
+        assert len(out.splitlines()) == 5  # title, header, rule, 2 rows
+
+    def test_column_access(self):
+        t = Table("x", "y")
+        t.row(x=1, y="p")
+        t.row(x=2, y="q")
+        assert t.column("x") == [1, 2]
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_row_validation(self):
+        t = Table("a", "b")
+        with pytest.raises(ValueError, match="missing"):
+            t.row(a=1)
+        with pytest.raises(ValueError, match="extra"):
+            t.row(a=1, b=2, c=3)
+
+    def test_bool_rendering(self):
+        t = Table("ok")
+        t.row(ok=True)
+        t.row(ok=False)
+        assert "yes" in t.render()
+        assert "no" in t.render()
+
+    def test_extend(self):
+        t = Table("v")
+        t.extend([{"v": 1}, {"v": 2}])
+        assert len(t) == 2
+
+    def test_empty_render(self):
+        t = Table("only")
+        out = t.render()
+        assert "only" in out
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("a", "a")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table()
+
+    def test_csv(self, tmp_path):
+        t = Table("a", "b")
+        t.row(a=1, b=Fraction(1, 2))
+        path = tmp_path / "out.csv"
+        t.to_csv(path)
+        content = path.read_text()
+        assert content.splitlines()[0] == "a,b"
+        assert "0.5" in content
+
+    def test_repr(self):
+        assert "rows=0" in repr(Table("a"))

@@ -1,0 +1,58 @@
+"""Naive 1-of-k duty cycling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_duty_cycle
+from repro.core.transparency import is_topology_transparent
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import star
+from repro.simulation.traffic import SaturatedTraffic
+
+
+class TestStructure:
+    def test_explicit_offsets(self):
+        s = naive_duty_cycle(3, 4, offsets=[0, 1, 1])
+        assert s.frame_length == 4
+        assert s.recv(0) == {0}
+        assert s.recv(1) == {1}
+        assert s.tran(0) == {1, 2, 3}
+        assert s.tran(1) == {0, 2, 3}
+
+    def test_listen_fraction_is_one_over_k(self):
+        s = naive_duty_cycle(6, 5, offsets=[0, 1, 2, 3, 4, 0])
+        for x in range(6):
+            assert s.recv_mask(x).bit_count() == 1
+            assert s.tran_mask(x).bit_count() == 4
+
+    def test_random_offsets_within_frame(self):
+        s = naive_duty_cycle(20, 6, rng=np.random.default_rng(0))
+        for x in range(20):
+            assert s.recv_mask(x).bit_count() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            naive_duty_cycle(3, 1)
+        with pytest.raises(ValueError):
+            naive_duty_cycle(3, 4, offsets=[0, 1])
+        with pytest.raises(ValueError):
+            naive_duty_cycle(3, 4, offsets=[0, 1, 4])
+
+
+class TestBehaviour:
+    def test_not_topology_transparent(self):
+        """The cautionary point: shared wake slots destroy the guarantee."""
+        s = naive_duty_cycle(6, 3, offsets=[0, 0, 0, 1, 1, 2])
+        assert not is_topology_transparent(s, 2)
+
+    def test_collision_concentration_at_shared_receiver(self):
+        """Two leaves with packets for the hub always collide in the hub's
+        single wake slot — the introduction's scenario, literally."""
+        topo = star(3, 2)
+        s = naive_duty_cycle(3, 4, offsets=[0, 1, 1])
+        sim = Simulator(topo, s, SaturatedTraffic(topo))
+        m = sim.run(frames=5)
+        # Both leaves transmit in slot 0 (hub's wake slot) every frame.
+        assert m.collisions[0] == 5
+        assert m.successes.get((1, 0), 0) == 0
+        assert m.successes.get((2, 0), 0) == 0

@@ -1,0 +1,226 @@
+"""Finite-field arithmetic: axioms, tables, helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.gf import (
+    GF,
+    field,
+    is_prime,
+    is_prime_power,
+    next_prime_power,
+    prime_power_decomposition,
+    prime_powers,
+    primes,
+)
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [p for p in range(20) if is_prime(p)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_larger_primes(self):
+        assert is_prime(97)
+        assert is_prime(101)
+        assert not is_prime(91)  # 7 * 13
+        assert not is_prime(1)
+        assert not is_prime(0)
+
+    def test_primes_iterator(self):
+        gen = primes()
+        assert [next(gen) for _ in range(8)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_decomposition_prime(self):
+        assert prime_power_decomposition(7) == (7, 1)
+
+    def test_decomposition_power(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(27) == (3, 3)
+        assert prime_power_decomposition(121) == (11, 2)
+
+    def test_decomposition_composite(self):
+        assert prime_power_decomposition(6) is None
+        assert prime_power_decomposition(12) is None
+        assert prime_power_decomposition(100) is None
+        assert prime_power_decomposition(1) is None
+
+    def test_is_prime_power(self):
+        assert [q for q in range(2, 20) if is_prime_power(q)] == \
+            [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19]
+
+    def test_next_prime_power(self):
+        assert next_prime_power(6) == 7
+        assert next_prime_power(7) == 7
+        assert next_prime_power(10) == 11
+        assert next_prime_power(26) == 27
+
+    def test_prime_powers_start(self):
+        gen = prime_powers(24)
+        assert [next(gen) for _ in range(3)] == [25, 27, 29]
+
+
+@pytest.mark.parametrize("q", FIELD_ORDERS)
+class TestFieldAxioms:
+    """Exhaustive axiom checks: fields are tiny, so check everything."""
+
+    def test_additive_group(self, q):
+        f = GF(q)
+        for a in f.elements:
+            assert f.add(a, 0) == a
+            assert f.add(a, f.neg(a)) == 0
+        # Addition is a latin square (each row is a permutation).
+        for a in f.elements:
+            assert sorted(f.add(a, b) for b in f.elements) == list(range(q))
+
+    def test_multiplicative_group(self, q):
+        f = GF(q)
+        for a in f.elements:
+            assert f.mul(a, 1) == a
+            assert f.mul(a, 0) == 0
+            if a != 0:
+                assert f.mul(a, f.inv(a)) == 1
+        for a in range(1, q):
+            assert sorted(f.mul(a, b) for b in f.elements) == list(range(q))
+
+    def test_commutativity(self, q):
+        f = GF(q)
+        for a in f.elements:
+            for b in f.elements:
+                assert f.add(a, b) == f.add(b, a)
+                assert f.mul(a, b) == f.mul(b, a)
+
+    def test_associativity_sampled(self, q):
+        f = GF(q)
+        rng = np.random.default_rng(q)
+        for _ in range(50):
+            a, b, c = (int(v) for v in rng.integers(0, q, size=3))
+            assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+            assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    def test_distributivity_sampled(self, q):
+        f = GF(q)
+        rng = np.random.default_rng(q + 1)
+        for _ in range(50):
+            a, b, c = (int(v) for v in rng.integers(0, q, size=3))
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    def test_sub_is_add_neg(self, q):
+        f = GF(q)
+        for a in f.elements:
+            for b in f.elements:
+                assert f.sub(a, b) == f.add(a, f.neg(b))
+
+    def test_characteristic(self, q):
+        f = GF(q)
+        # Adding 1 to itself p times gives 0.
+        acc = 0
+        for _ in range(f.p):
+            acc = f.add(acc, 1)
+        assert acc == 0
+
+    def test_pow(self, q):
+        f = GF(q)
+        for a in f.elements:
+            assert f.pow(a, 0) == 1
+            assert f.pow(a, 1) == a
+            assert f.pow(a, 2) == f.mul(a, a)
+            assert f.pow(a, 3) == f.mul(f.mul(a, a), a)
+
+    def test_fermat(self, q):
+        """a**q == a for every element (the field's Frobenius fixed point)."""
+        f = GF(q)
+        for a in f.elements:
+            assert f.pow(a, q) == a
+
+
+class TestFieldErrors:
+    def test_non_prime_power_rejected(self):
+        with pytest.raises(ValueError, match="prime power"):
+            GF(6)
+        with pytest.raises(ValueError, match="prime power"):
+            GF(12)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            GF(1)
+
+    def test_zero_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            GF(5).inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF(5).div(3, 0)
+
+    def test_out_of_range_elements(self):
+        f = GF(5)
+        with pytest.raises(ValueError):
+            f.add(5, 0)
+        with pytest.raises(ValueError):
+            f.mul(0, -1)
+
+    def test_negative_exponent(self):
+        with pytest.raises(ValueError):
+            GF(5).pow(2, -1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            GF(True)
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("q", [5, 8, 9])
+    def test_add_vec_matches_scalar(self, q):
+        f = GF(q)
+        xs = np.arange(q, dtype=np.int64)
+        table = f.add_vec(xs[:, None], xs[None, :])
+        for a in range(q):
+            for b in range(q):
+                assert table[a, b] == f.add(a, b)
+
+    @pytest.mark.parametrize("q", [5, 8, 9])
+    def test_mul_vec_matches_scalar(self, q):
+        f = GF(q)
+        xs = np.arange(q, dtype=np.int64)
+        table = f.mul_vec(xs[:, None], xs[None, :])
+        for a in range(q):
+            for b in range(q):
+                assert table[a, b] == f.mul(a, b)
+
+
+class TestMisc:
+    def test_len_and_repr(self):
+        assert len(GF(9)) == 9
+        assert "GF(9" in repr(GF(9))
+        assert repr(GF(7)) == "GF(7)"
+
+    def test_modulus_exposed_for_extensions(self):
+        f = GF(8)
+        assert f.modulus is not None
+        assert len(f.modulus) == 4  # degree-3 monic
+        assert f.modulus[-1] == 1
+        assert GF(7).modulus is None
+
+    def test_field_cache(self):
+        assert field(25) is field(25)
+        assert field(25).order == 25
+
+    def test_div(self):
+        f = GF(7)
+        for a in f.elements:
+            for b in range(1, 7):
+                assert f.mul(f.div(a, b), b) == a
+
+
+@given(q=st.sampled_from([4, 8, 9, 16, 25]),
+       data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_extension_field_no_zero_divisors(q, data):
+    """Nonzero product of nonzero elements — the irreducibility payoff."""
+    f = field(q)
+    a = data.draw(st.integers(min_value=1, max_value=q - 1))
+    b = data.draw(st.integers(min_value=1, max_value=q - 1))
+    assert f.mul(a, b) != 0

@@ -1,0 +1,76 @@
+"""Group testing on cover-free families: the d-disjunct round trip."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.coverfree import CoverFreeFamily
+from repro.combinatorics.grouptesting import (
+    decode,
+    identify_defectives,
+    pools_for_item,
+    run_tests,
+)
+
+
+class TestPrimitives:
+    def test_pools_for_item(self):
+        fam = CoverFreeFamily.from_sets(4, [{0, 1}, {2, 3}])
+        assert pools_for_item(fam, 0) == {0, 1}
+        assert pools_for_item(fam, 1) == {2, 3}
+
+    def test_run_tests_union(self):
+        fam = CoverFreeFamily.from_sets(4, [{0, 1}, {2, 3}, {1, 2}])
+        assert run_tests(fam, {0}) == 0b0011
+        assert run_tests(fam, {0, 1}) == 0b1111
+        assert run_tests(fam, set()) == 0
+
+    def test_decode_requires_all_pools_positive(self):
+        fam = CoverFreeFamily.from_sets(4, [{0, 1}, {2, 3}])
+        assert decode(fam, 0b0011) == {0}
+        assert decode(fam, 0b0111) == {0}
+        assert decode(fam, 0b1111) == {0, 1}
+
+    def test_capacity_enforced(self):
+        fam = CoverFreeFamily.from_polynomial_code(3, 1, count=6)
+        with pytest.raises(ValueError, match="capacity"):
+            identify_defectives(fam, {0, 1, 2}, d=2)
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("builder,d", [
+        (lambda: CoverFreeFamily.from_polynomial_code(5, 1, count=20), 4),
+        (lambda: CoverFreeFamily.from_steiner_triple_system(9), 2),
+        (lambda: CoverFreeFamily.from_projective_plane(3), 3),
+        (lambda: CoverFreeFamily.trivial(8), 7),
+    ])
+    def test_all_small_defective_sets_recovered(self, builder, d):
+        """Exhaustive over defective sets up to size min(d, 2): the decoder
+        must return exactly the planted set."""
+        fam = builder()
+        assert fam.is_d_cover_free(d)
+        items = range(fam.size)
+        for size in range(0, min(d, 2) + 1):
+            for defectives in combinations(items, size):
+                planted = set(defectives)
+                assert identify_defectives(fam, planted, d) == planted
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_defective_sets(self, data):
+        fam = CoverFreeFamily.from_polynomial_code(5, 1, count=25)
+        d = 4
+        size = data.draw(st.integers(min_value=0, max_value=d))
+        planted = set(data.draw(st.permutations(range(25)))[:size])
+        assert identify_defectives(fam, planted, d) == planted
+
+    def test_overloaded_design_can_overreport(self):
+        """Past capacity the decoder may return a superset — demonstrate
+        the failure mode the capacity check guards against."""
+        fam = CoverFreeFamily.from_steiner_triple_system(7)  # 2-cover-free
+        # Seven triples on 7 points: 3 defectives can cover everything.
+        positives = run_tests(fam, {0, 1, 2})
+        decoded = decode(fam, positives)
+        assert {0, 1, 2} <= decoded  # never misses true defectives

@@ -1,0 +1,104 @@
+"""Latin squares, MOLS, MacNeish's product, transversal designs."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.latin import (
+    are_orthogonal,
+    cyclic_latin_square,
+    is_latin_square,
+    macneish_bound,
+    mols,
+    mols_prime_power,
+    oa_from_mols,
+    transversal_design,
+)
+from repro.combinatorics.orthogonal import is_orthogonal_array
+
+
+class TestLatinSquares:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8])
+    def test_cyclic_is_latin(self, m):
+        assert is_latin_square(cyclic_latin_square(m))
+
+    def test_non_latin_rejected(self):
+        assert not is_latin_square(np.zeros((3, 3), dtype=int))
+        assert not is_latin_square(np.zeros((2, 3), dtype=int))
+        assert not is_latin_square(np.arange(4))
+
+    def test_orthogonality_checker(self):
+        a = cyclic_latin_square(3)
+        b = (a + a) % 3  # L(i,j) = 2i + 2j: rows/cols still permutations
+        assert is_latin_square(b)
+        # a and the square 2i + j are orthogonal over GF(3):
+        i = np.arange(3)
+        c = (2 * i[:, None] + i[None, :]) % 3
+        assert are_orthogonal(a, c)
+        assert not are_orthogonal(a, a)
+
+    def test_orthogonality_shape_mismatch(self):
+        assert not are_orthogonal(cyclic_latin_square(3), cyclic_latin_square(4))
+
+
+class TestMOLS:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9])
+    def test_prime_power_complete_set(self, q):
+        squares = mols_prime_power(q)
+        assert len(squares) == q - 1
+        for sq in squares:
+            assert is_latin_square(sq)
+        for a, b in combinations(squares, 2):
+            assert are_orthogonal(a, b)
+
+    @pytest.mark.parametrize("m,expected", [
+        (2, 1), (3, 2), (4, 3), (6, 1), (10, 1), (12, 2), (15, 2), (20, 3),
+    ])
+    def test_macneish_bound(self, m, expected):
+        assert macneish_bound(m) == expected
+
+    @pytest.mark.parametrize("m", [6, 10, 12, 15])
+    def test_composite_orders_via_macneish(self, m):
+        squares = mols(m)
+        assert len(squares) == macneish_bound(m)
+        for sq in squares:
+            assert sq.shape == (m, m)
+            assert is_latin_square(sq)
+        for a, b in combinations(squares, 2):
+            assert are_orthogonal(a, b)
+
+    def test_requesting_too_many(self):
+        with pytest.raises(ValueError, match="MacNeish"):
+            mols(6, count=2)
+
+    def test_count_zero(self):
+        assert mols(5, count=0) == []
+
+
+class TestTransversalDesign:
+    @pytest.mark.parametrize("k,m", [(3, 3), (3, 10), (4, 5), (4, 12), (5, 4)])
+    def test_block_structure(self, k, m):
+        points, blocks = transversal_design(k, m)
+        assert points == k * m
+        assert len(blocks) == m * m
+        groups = [set(range(g * m, (g + 1) * m)) for g in range(k)]
+        for block in blocks:
+            assert len(block) == k
+            for grp in groups:
+                assert len(block & grp) == 1  # exactly one point per group
+
+    @pytest.mark.parametrize("k,m", [(3, 4), (3, 6), (4, 5)])
+    def test_pairwise_intersection_at_most_one(self, k, m):
+        _, blocks = transversal_design(k, m)
+        for b1, b2 in combinations(blocks, 2):
+            assert len(b1 & b2) <= 1
+
+    @pytest.mark.parametrize("k,m", [(3, 3), (4, 5), (3, 10)])
+    def test_oa_property(self, k, m):
+        rows = oa_from_mols(m, k)
+        assert is_orthogonal_array(rows, strength=2, levels=m)
+
+    def test_infeasible_k(self):
+        with pytest.raises(ValueError):
+            transversal_design(4, 6)  # would need 2 MOLS of order 6

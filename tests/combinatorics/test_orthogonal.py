@@ -1,0 +1,73 @@
+"""Orthogonal arrays from polynomial codes."""
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.orthogonal import is_orthogonal_array, polynomial_code
+
+
+class TestPolynomialCode:
+    @pytest.mark.parametrize("q,k", [(2, 1), (3, 1), (4, 1), (5, 1), (3, 2)])
+    def test_full_code_is_oa_of_strength_k_plus_1(self, q, k):
+        code = polynomial_code(q, k)
+        assert code.shape == (q ** (k + 1), q)
+        assert is_orthogonal_array(code, strength=k + 1, levels=q)
+
+    @pytest.mark.parametrize("q,k", [(3, 1), (5, 1)])
+    def test_also_oa_of_lower_strength(self, q, k):
+        # Strength is downward closed (lambda scales by q per level dropped).
+        code = polynomial_code(q, k)
+        assert is_orthogonal_array(code, strength=k, levels=q)
+
+    def test_prefix_rows(self):
+        code = polynomial_code(5, 1, count=9)
+        assert code.shape == (9, 5)
+        full = polynomial_code(5, 1)
+        assert (code == full[:9]).all()
+
+    def test_rows_distinct(self):
+        code = polynomial_code(4, 1)
+        assert len({tuple(r) for r in code}) == 16
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            polynomial_code(6, 1)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            polynomial_code(3, 1, count=10)
+        with pytest.raises(ValueError):
+            polynomial_code(3, 1, count=0)
+
+
+class TestVerifier:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            is_orthogonal_array(np.zeros(5, dtype=int), 1)
+
+    def test_rejects_strength_above_columns(self):
+        with pytest.raises(ValueError):
+            is_orthogonal_array(np.zeros((4, 2), dtype=int), 3)
+
+    def test_rejects_bad_lambda(self):
+        # 5 rows over 2 levels cannot be strength 1 (lambda = 2.5).
+        a = np.array([[0], [1], [0], [1], [0]])
+        assert not is_orthogonal_array(a, 1, levels=2)
+
+    def test_rejects_non_uniform(self):
+        a = np.array([[0, 0], [0, 0], [1, 1], [1, 0]])
+        assert not is_orthogonal_array(a, 2, levels=2)
+
+    def test_accepts_hand_built_oa(self):
+        # The full factorial over two binary columns: OA(4, 2, 2, 2).
+        a = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        assert is_orthogonal_array(a, 2, levels=2)
+
+    def test_rejects_out_of_range_entries(self):
+        a = np.array([[0, 0], [0, 1], [1, 0], [1, 2]])
+        assert not is_orthogonal_array(a, 1, levels=2)
+
+    def test_perturbation_breaks_oa(self):
+        code = polynomial_code(3, 1).copy()
+        code[0, 0] = (code[0, 0] + 1) % 3
+        assert not is_orthogonal_array(code, 2, levels=3)

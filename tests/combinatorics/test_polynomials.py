@@ -1,0 +1,140 @@
+"""Polynomial evaluation and enumeration over finite fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.gf import field
+from repro.combinatorics.polynomials import (
+    enumerate_polynomials,
+    evaluate_poly,
+    evaluate_poly_all,
+    poly_from_index,
+    value_table,
+)
+
+
+def naive_eval(f, coeffs, x):
+    """Direct power-sum evaluation used as the test oracle."""
+    acc = 0
+    for i, c in enumerate(coeffs):
+        acc = f.add(acc, f.mul(c, f.pow(x, i)))
+    return acc
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("q", [3, 5, 8, 9])
+    def test_matches_naive(self, q):
+        f = field(q)
+        rng = np.random.default_rng(q)
+        for _ in range(20):
+            deg = int(rng.integers(0, 4))
+            coeffs = [int(c) for c in rng.integers(0, q, size=deg + 1)]
+            for x in f.elements:
+                assert evaluate_poly(f, coeffs, x) == naive_eval(f, coeffs, x)
+
+    def test_constant(self):
+        f = field(7)
+        for c in f.elements:
+            for x in f.elements:
+                assert evaluate_poly(f, [c], x) == c
+
+    def test_identity(self):
+        f = field(7)
+        for x in f.elements:
+            assert evaluate_poly(f, [0, 1], x) == x
+
+    def test_empty_coeffs_is_zero(self):
+        f = field(5)
+        assert evaluate_poly(f, [], 3) == 0
+
+    def test_point_out_of_field(self):
+        with pytest.raises(ValueError):
+            evaluate_poly(field(5), [1], 5)
+
+    @pytest.mark.parametrize("q", [4, 5, 9])
+    def test_evaluate_all_matches_pointwise(self, q):
+        f = field(q)
+        rng = np.random.default_rng(q + 7)
+        coeffs = [int(c) for c in rng.integers(0, q, size=3)]
+        table = evaluate_poly_all(f, coeffs)
+        assert table.shape == (q,)
+        for x in f.elements:
+            assert table[x] == evaluate_poly(f, coeffs, x)
+
+
+class TestEnumeration:
+    def test_index_roundtrip(self):
+        f = field(3)
+        seen = set()
+        for idx in range(3**3):
+            coeffs = poly_from_index(f, 2, idx)
+            assert len(coeffs) == 3
+            seen.add(coeffs)
+        assert len(seen) == 27  # all distinct
+
+    def test_low_indices_are_constants(self):
+        f = field(5)
+        for idx in range(5):
+            coeffs = poly_from_index(f, 2, idx)
+            assert coeffs == (idx, 0, 0)
+
+    def test_enumeration_matches_index(self):
+        f = field(4)
+        listed = list(enumerate_polynomials(f, 1))
+        assert len(listed) == 16
+        for idx, coeffs in enumerate(listed):
+            assert coeffs == poly_from_index(f, 1, idx)
+
+    def test_count_prefix(self):
+        f = field(5)
+        assert len(list(enumerate_polynomials(f, 1, count=7))) == 7
+
+    def test_count_bounds(self):
+        f = field(3)
+        with pytest.raises(ValueError):
+            list(enumerate_polynomials(f, 1, count=10))
+        with pytest.raises(ValueError):
+            poly_from_index(f, 1, 9)
+
+
+class TestValueTable:
+    @pytest.mark.parametrize("q,k", [(3, 1), (5, 1), (4, 1), (7, 2), (9, 1)])
+    def test_distinct_rows_agree_in_at_most_k_points(self, q, k):
+        """The cover-freeness workhorse: deg-<=k polys share <= k values."""
+        count = min(q ** (k + 1), 40)
+        rows = value_table(field(q), k, count)
+        for i in range(count):
+            for j in range(i + 1, count):
+                agreements = int((rows[i] == rows[j]).sum())
+                assert agreements <= k
+
+    def test_rows_match_enumeration(self):
+        f = field(5)
+        rows = value_table(f, 1, 10)
+        for r, coeffs in enumerate(enumerate_polynomials(f, 1, count=10)):
+            expected = evaluate_poly_all(f, coeffs)
+            assert (rows[r] == expected).all()
+
+    def test_shape(self):
+        rows = value_table(field(8), 1, 12)
+        assert rows.shape == (12, 8)
+        assert rows.dtype == np.int64
+        assert rows.min() >= 0 and rows.max() < 8
+
+
+@given(q=st.sampled_from([3, 4, 5]), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_poly_addition_homomorphism(q, data):
+    """(f + g)(x) == f(x) + g(x) under coefficient-wise field addition."""
+    f = field(q)
+    deg = data.draw(st.integers(min_value=0, max_value=2))
+    c1 = [data.draw(st.integers(min_value=0, max_value=q - 1))
+          for _ in range(deg + 1)]
+    c2 = [data.draw(st.integers(min_value=0, max_value=q - 1))
+          for _ in range(deg + 1)]
+    summed = [f.add(a, b) for a, b in zip(c1, c2)]
+    for x in f.elements:
+        assert evaluate_poly(f, summed, x) == \
+            f.add(evaluate_poly(f, c1, x), evaluate_poly(f, c2, x))

@@ -1,0 +1,67 @@
+"""Exact extremal cover-free-family search."""
+
+import pytest
+
+from repro.combinatorics.coverfree import CoverFreeFamily
+from repro.combinatorics.search import (
+    max_cover_free_family,
+    max_cover_free_size,
+    sperner_capacity,
+)
+
+
+class TestSperner:
+    @pytest.mark.parametrize("ground,expected", [
+        (1, 1), (2, 2), (3, 3), (4, 6), (5, 10), (6, 20),
+    ])
+    def test_capacity_formula(self, ground, expected):
+        assert sperner_capacity(ground) == expected
+
+    @pytest.mark.parametrize("ground", [2, 3, 4, 5])
+    def test_search_attains_sperner(self, ground):
+        """d = 1 cover-freeness == antichain; the exact search must land
+        exactly on the Sperner number."""
+        assert max_cover_free_size(ground, 1) == sperner_capacity(ground)
+
+
+class TestExactSearch:
+    def test_result_is_cover_free(self):
+        fam = max_cover_free_family(5, 2)
+        assert isinstance(fam, CoverFreeFamily)
+        assert fam.is_d_cover_free(2)
+
+    def test_fano_is_extremal(self):
+        """The 7 lines of the Fano plane are a MAXIMUM 2-cover-free family
+        of 3-sets over 7 points — the search settles it exactly."""
+        assert max_cover_free_size(7, 2, block_size=3) == 7
+
+    def test_limit_short_circuits(self):
+        fam = max_cover_free_family(5, 1, limit=3)
+        assert fam.size >= 3
+        assert fam.is_d_cover_free(1)
+
+    def test_fixed_block_size_respected(self):
+        fam = max_cover_free_family(6, 2, block_size=3)
+        assert all(b.bit_count() == 3 for b in fam.blocks)
+        assert fam.is_d_cover_free(2)
+
+    def test_small_degenerate(self):
+        # One ground point: only block {0}; any second block repeats.
+        assert max_cover_free_size(1, 1) == 1
+
+    def test_monotone_in_d(self):
+        """Stronger cover-freeness can only shrink the maximum family."""
+        sizes = [max_cover_free_size(5, d) for d in (1, 2, 3)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_constructions_cannot_beat_exact_optimum(self):
+        """The STS(7)-based family of any 7 blocks ties the exact optimum
+        over the same ground set and block size."""
+        sts = CoverFreeFamily.from_steiner_triple_system(7)
+        assert sts.size == max_cover_free_size(7, 2, block_size=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_cover_free_size(0, 1)
+        with pytest.raises(ValueError):
+            max_cover_free_family(4, 1, block_size=5)

@@ -1,0 +1,157 @@
+"""Steiner triple systems, difference triples, and finite planes."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.combinatorics.steiner import (
+    affine_plane,
+    difference_triples,
+    is_projective_plane,
+    is_steiner_triple_system,
+    projective_plane,
+    steiner_triple_system,
+)
+
+
+class TestSTS:
+    @pytest.mark.parametrize("v", [9, 15, 21, 27, 33])
+    def test_bose_orders(self, v):
+        blocks = steiner_triple_system(v)
+        assert len(blocks) == v * (v - 1) // 6
+        assert is_steiner_triple_system(v, blocks)
+
+    @pytest.mark.parametrize("v", [7, 13, 19, 25, 31, 37])
+    def test_cyclic_orders(self, v):
+        blocks = steiner_triple_system(v)
+        assert len(blocks) == v * (v - 1) // 6
+        assert is_steiner_triple_system(v, blocks)
+
+    @pytest.mark.parametrize("v", [3])
+    def test_trivial_order(self, v):
+        # v = 3: single block {0,1,2} via Bose (t = 0).
+        blocks = steiner_triple_system(v)
+        assert blocks == [frozenset({0, 1, 2})]
+
+    @pytest.mark.parametrize("v", [4, 5, 6, 8, 10, 11, 12, 14])
+    def test_inadmissible_orders_rejected(self, v):
+        with pytest.raises(ValueError, match="STS"):
+            steiner_triple_system(v)
+
+    def test_blocks_pairwise_intersect_in_at_most_one(self):
+        """The 2-cover-freeness source property, checked directly."""
+        blocks = steiner_triple_system(13)
+        for b1, b2 in combinations(blocks, 2):
+            assert len(b1 & b2) <= 1
+
+
+class TestSTSVerifier:
+    def test_rejects_duplicate_pair(self):
+        blocks = [frozenset({0, 1, 2}), frozenset({0, 1, 3})]
+        assert not is_steiner_triple_system(7, blocks)
+
+    def test_rejects_wrong_block_size(self):
+        assert not is_steiner_triple_system(7, [frozenset({0, 1})])
+
+    def test_rejects_out_of_range(self):
+        assert not is_steiner_triple_system(7, [frozenset({0, 1, 7})])
+
+    def test_rejects_missing_pairs(self):
+        blocks = steiner_triple_system(7)[:-1]
+        assert not is_steiner_triple_system(7, blocks)
+
+
+class TestDifferenceTriples:
+    @pytest.mark.parametrize("t", [1, 2, 3, 4, 5, 6, 8, 10, 13, 15])
+    def test_partition_property(self, t):
+        v = 6 * t + 1
+        triples = difference_triples(t, v)
+        assert triples is not None
+        used = [x for tr in triples for x in tr]
+        assert sorted(used) == list(range(1, 3 * t + 1))
+        for a, b, c in triples:
+            assert a + b == c or a + b + c == v
+
+    def test_minimum_t(self):
+        assert difference_triples(1, 7) == [(1, 2, 3)]
+
+    def test_budget_guard_raises_cleanly(self):
+        """Beyond the tractable range the search refuses rather than hangs."""
+        with pytest.raises(ValueError, match="node budget"):
+            difference_triples(40, 241)
+
+    def test_auto_selection_avoids_untractable_orders(self):
+        """steiner_schedule never triggers the exponential search."""
+        from repro.core.nonsleeping import steiner_schedule
+
+        s = steiner_schedule(1800, 2)  # would pick v=104..109 range naively
+        assert s.frame_length % 6 == 3 or s.frame_length <= 103
+
+
+class TestProjectivePlane:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_axioms(self, q):
+        v, lines = projective_plane(q)
+        assert v == q * q + q + 1
+        assert len(lines) == v
+        assert is_projective_plane(v, lines)
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_two_lines_meet_in_exactly_one_point(self, q):
+        _, lines = projective_plane(q)
+        for l1, l2 in combinations(lines, 2):
+            assert len(l1 & l2) == 1
+
+    def test_fano_plane(self):
+        v, lines = projective_plane(2)
+        assert v == 7
+        assert all(len(line) == 3 for line in lines)
+
+    def test_non_prime_power_rejected(self):
+        with pytest.raises(ValueError):
+            projective_plane(6)
+
+
+class TestProjectiveVerifier:
+    def test_rejects_wrong_counts(self):
+        v, lines = projective_plane(3)
+        assert not is_projective_plane(v, lines[:-1])
+
+    def test_rejects_tampered_line(self):
+        v, lines = projective_plane(2)
+        bad = list(lines)
+        first = sorted(bad[0])
+        second = sorted(bad[1])
+        # Swap a point to create a duplicate pair somewhere.
+        tampered = frozenset(first[:-1] + [next(p for p in second
+                                                if p not in first)])
+        bad[0] = tampered
+        assert not is_projective_plane(v, bad)
+
+
+class TestAffinePlane:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_counts(self, q):
+        v, lines = affine_plane(q)
+        assert v == q * q
+        assert len(lines) == q * q + q
+        assert all(len(line) == q for line in lines)
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_pairwise_intersection_at_most_one(self, q):
+        _, lines = affine_plane(q)
+        for l1, l2 in combinations(lines, 2):
+            assert len(l1 & l2) <= 1
+
+    @pytest.mark.parametrize("q", [3, 4])
+    def test_every_pair_on_exactly_one_line(self, q):
+        v, lines = affine_plane(q)
+        counts = {pair: 0 for pair in combinations(range(v), 2)}
+        for line in lines:
+            for pair in combinations(sorted(line), 2):
+                counts[pair] += 1
+        assert all(c == 1 for c in counts.values())
+
+    def test_non_prime_power_rejected(self):
+        with pytest.raises(ValueError):
+            affine_plane(10)

@@ -1,0 +1,56 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+def random_schedule_strategy(max_n: int = 7, max_len: int = 8,
+                             non_sleeping: bool = False):
+    """Hypothesis strategy generating small valid schedules.
+
+    Draws ``n``, a frame length, and per-slot per-node states in
+    {sleep, transmit, receive} (or {transmit, receive} for non-sleeping).
+    """
+    choices = (0, 1) if non_sleeping else (0, 1, 2)
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=3, max_value=max_n))
+        length = draw(st.integers(min_value=1, max_value=max_len))
+        tx, rx = [], []
+        for _ in range(length):
+            t = r = 0
+            for x in range(n):
+                state = draw(st.sampled_from(choices))
+                if state == 0:
+                    t |= 1 << x
+                elif state == 1:
+                    r |= 1 << x
+            tx.append(t)
+            rx.append(r)
+        return Schedule(n, tuple(tx), tuple(rx))
+
+    return build()
+
+
+def schedule_with_degree_strategy(max_n: int = 7, max_len: int = 8):
+    """Strategy yielding ``(schedule, d)`` with a valid degree bound."""
+
+    @st.composite
+    def build(draw):
+        sched = draw(random_schedule_strategy(max_n, max_len))
+        d = draw(st.integers(min_value=2, max_value=sched.n - 1))
+        return sched, d
+
+    return build()

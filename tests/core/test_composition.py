@@ -1,0 +1,163 @@
+"""Schedule transformations and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composition import (
+    concatenate,
+    interleave_construction,
+    permute_slots,
+    relabel_nodes,
+    rotate,
+)
+from repro.core.construction import construct_detailed
+from repro.core.latency import worst_link_access_delay
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.core.throughput import average_throughput, min_throughput
+from repro.core.transparency import is_topology_transparent
+from tests.conftest import schedule_with_degree_strategy
+
+
+class TestPermuteSlots:
+    def test_reorders(self):
+        s = tdma_schedule(4)
+        p = permute_slots(s, [3, 2, 1, 0])
+        assert p.tx_set(0) == {3}
+        assert p.tx_set(3) == {0}
+
+    def test_identity(self):
+        s = tdma_schedule(4)
+        assert permute_slots(s, [0, 1, 2, 3]) == s
+
+    def test_invalid_permutation(self):
+        s = tdma_schedule(4)
+        with pytest.raises(ValueError, match="exactly once"):
+            permute_slots(s, [0, 0, 1, 2])
+        with pytest.raises(ValueError, match="exactly once"):
+            permute_slots(s, [0, 1])
+        with pytest.raises(ValueError):
+            permute_slots(s, [0, 1, 2, 4])
+
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=6),
+           seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, pair, seed):
+        """Transparency and both throughputs are slot-order-free."""
+        sched, d = pair
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(sched.frame_length).tolist()
+        permuted = permute_slots(sched, perm)
+        assert is_topology_transparent(permuted, d) == \
+            is_topology_transparent(sched, d)
+        assert average_throughput(permuted, d) == average_throughput(sched, d)
+        assert min_throughput(permuted, d) == min_throughput(sched, d)
+        assert permuted.duty_cycles() == sched.duty_cycles()
+
+
+class TestRotate:
+    def test_rotation(self):
+        s = tdma_schedule(4)
+        r = rotate(s, 1)
+        assert r.tx_set(0) == {1}
+        assert rotate(s, 4) == s
+        assert rotate(s, -1).tx_set(0) == {3}
+
+    def test_rotation_composes(self):
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        assert rotate(rotate(s, 4), 5) == s
+
+
+class TestRelabelNodes:
+    def test_relabel(self):
+        s = tdma_schedule(3)
+        r = relabel_nodes(s, [2, 0, 1])
+        assert r.tx_set(0) == {2}
+        assert r.tx_set(1) == {0}
+
+    def test_invalid_mapping(self):
+        with pytest.raises(ValueError, match="exactly once"):
+            relabel_nodes(tdma_schedule(3), [0, 0, 1])
+
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=5),
+           seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, pair, seed):
+        """The class N_n^D is symmetric under node renaming."""
+        sched, d = pair
+        rng = np.random.default_rng(seed)
+        mapping = rng.permutation(sched.n).tolist()
+        renamed = relabel_nodes(sched, mapping)
+        assert is_topology_transparent(renamed, d) == \
+            is_topology_transparent(sched, d)
+        assert average_throughput(renamed, d) == average_throughput(sched, d)
+        assert min_throughput(renamed, d) == min_throughput(sched, d)
+
+
+class TestConcatenate:
+    def test_frame_is_sum(self):
+        a, b = tdma_schedule(5), tdma_schedule(5)
+        c = concatenate(a, b)
+        assert c.frame_length == 10
+        assert c.tx_set(7) == a.tx_set(2)
+
+    def test_mismatched_n(self):
+        with pytest.raises(ValueError, match="node sets"):
+            concatenate(tdma_schedule(4), tdma_schedule(5))
+
+    def test_transparency_inherited(self):
+        from repro.core.schedule import Schedule
+
+        good = tdma_schedule(5)
+        junk = Schedule.non_sleeping(5, [[0, 1, 2, 3, 4]])  # useless slots
+        assert is_topology_transparent(concatenate(good, junk), 3)
+        assert is_topology_transparent(concatenate(junk, good), 3)
+
+    def test_throughput_is_weighted_mean(self):
+        a = tdma_schedule(6)
+        from repro.core.schedule import Schedule
+
+        b = Schedule.non_sleeping(6, [[0, 1]])
+        c = concatenate(a, b)
+        d = 2
+        expected = (average_throughput(a, d) * a.frame_length +
+                    average_throughput(b, d) * b.frame_length) / c.frame_length
+        assert average_throughput(c, d) == expected
+
+
+class TestInterleave:
+    def test_is_permutation_of_construction(self):
+        res = construct_detailed(polynomial_schedule(25, 3), 3, 4, 8)
+        inter = interleave_construction(res)
+        assert sorted(inter.tx) == sorted(res.schedule.tx)
+        assert inter.frame_length == res.schedule.frame_length
+        assert average_throughput(inter, 3) == \
+            average_throughput(res.schedule, 3)
+
+    def test_transparency_preserved(self):
+        res = construct_detailed(polynomial_schedule(9, 2, q=3, k=1), 2, 2, 4)
+        assert is_topology_transparent(interleave_construction(res), 2)
+
+    def test_delay_stays_within_generic_bound(self):
+        """Reordering moves the worst-case delay around but can never
+        escape the transparency bound; the ablation bench measures the
+        direction per instance (for these families Figure 2's output is
+        already well spread, so the effect is small either way)."""
+        from repro.core.latency import frame_delay_bound
+
+        res = construct_detailed(polynomial_schedule(9, 2, q=3, k=1), 2, 2, 4)
+        plain_delay = worst_link_access_delay(res.schedule, 2)
+        inter_delay = worst_link_access_delay(interleave_construction(res), 2)
+        bound = frame_delay_bound(res.schedule)
+        assert plain_delay <= bound
+        assert inter_delay <= bound
+
+    def test_round_robin_order(self):
+        res = construct_detailed(tdma_schedule(4), 2, 2, 2)
+        inter = interleave_construction(res)
+        # TDMA with aR=2: each source slot yields ceil(3/2)=2 constructed
+        # slots; round-robin means the first 4 slots are the first
+        # constructed slot of each source slot, i.e. transmitters 0,1,2,3.
+        assert [inter.tx_set(i) for i in range(4)] == \
+            [{0}, {1}, {2}, {3}]

@@ -1,0 +1,267 @@
+"""The Figure 2 construction: correctness, frame length, throughput, balance."""
+
+from fractions import Fraction
+from math import ceil, gcd
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import (
+    balanced_chunks,
+    construct,
+    construct_detailed,
+    construct_exact,
+    contiguous_chunks,
+    frame_length_formula,
+)
+from repro.core.nonsleeping import (
+    polynomial_schedule,
+    projective_plane_schedule,
+    steiner_schedule,
+    tdma_schedule,
+)
+from repro.core.schedule import Schedule
+from repro.core.throughput import (
+    average_throughput,
+    constrained_upper_bound,
+    min_throughput,
+    optimal_transmitters_constrained,
+    thm8_ratio_lower_bound,
+    thm9_min_throughput_bound,
+)
+from repro.core.transparency import is_topology_transparent
+
+
+class TestChunks:
+    def test_contiguous_exact_division(self):
+        assert contiguous_chunks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_contiguous_overlapping_last(self):
+        chunks = contiguous_chunks([1, 2, 3, 4, 5], 2)
+        assert chunks == [[1, 2], [3, 4], [4, 5]]
+        assert all(len(c) == 2 for c in chunks)
+        assert set().union(*chunks) == {1, 2, 3, 4, 5}
+
+    def test_contiguous_small_input(self):
+        assert contiguous_chunks([7], 3) == [[7]]
+        assert contiguous_chunks([], 3) == []
+
+    @given(m=st.integers(min_value=1, max_value=20),
+           size=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_contiguous_figure2_line3_invariants(self, m, size):
+        elems = list(range(m))
+        chunks = contiguous_chunks(elems, size)
+        eff = min(size, m)
+        assert len(chunks) == ceil(m / eff)
+        assert all(len(c) == eff for c in chunks)
+        assert set().union(*chunks) == set(elems)
+
+    def test_balanced_exact_division_matches_contiguous_count(self):
+        assert len(balanced_chunks(list(range(6)), 3)) == 2
+
+    @given(m=st.integers(min_value=1, max_value=18),
+           size=st.integers(min_value=1, max_value=18))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_equal_membership(self, m, size):
+        elems = list(range(m))
+        chunks = balanced_chunks(elems, size)
+        eff = min(size, m)
+        assert len(chunks) == m // gcd(m, eff)
+        counts = {e: 0 for e in elems}
+        for c in chunks:
+            assert len(c) == eff
+            for e in c:
+                counts[e] += 1
+        values = set(counts.values())
+        assert len(values) == 1  # every element in the same number of chunks
+        assert values.pop() == eff // gcd(m, eff)
+
+
+FAMILIES = [
+    ("tdma", lambda n, d: tdma_schedule(n)),
+    ("polynomial", polynomial_schedule),
+]
+
+
+class TestCorrectness:
+    """Lemma 5 / Theorem 6: transparency is preserved, caps hold."""
+
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_transparency_preserved(self, name, factory, balanced):
+        n, d, at, ar = 9, 2, 2, 4
+        source = factory(n, d)
+        assert is_topology_transparent(source, d)
+        built = construct(source, d, at, ar, balanced=balanced)
+        assert built.is_alpha_schedule(at, ar)
+        assert is_topology_transparent(built, d)
+
+    def test_steiner_source(self):
+        n, d, at, ar = 12, 2, 3, 4
+        built = construct(steiner_schedule(n, d), d, at, ar)
+        assert built.is_alpha_schedule(at, ar)
+        assert is_topology_transparent(built, d)
+
+    def test_projective_source(self):
+        n, d, at, ar = 12, 3, 3, 4
+        built = construct(projective_plane_schedule(n, d), d, at, ar)
+        assert built.is_alpha_schedule(at, ar)
+        assert is_topology_transparent(built, d)
+
+    def test_receivers_exactly_alpha_r(self):
+        """Line 8 pads every constructed slot to exactly alpha_R receivers."""
+        res = construct_detailed(polynomial_schedule(9, 2, q=3, k=1), 2, 2, 4)
+        assert all(c == 4 for c in res.schedule.rx_counts)
+
+    def test_tx_rx_disjoint_after_padding(self):
+        built = construct(tdma_schedule(10), 2, 3, 6)
+        for t, r in zip(built.tx, built.rx):
+            assert t & r == 0
+
+    def test_requires_non_sleeping_source(self):
+        sleeping = Schedule.from_sets(5, [[0]], [[1]])
+        with pytest.raises(ValueError, match="non-sleeping"):
+            construct(sleeping, 2, 1, 2)
+
+    def test_budget_exceeds_n_rejected(self):
+        with pytest.raises(ValueError, match="alpha_T \\+ alpha_R"):
+            construct(tdma_schedule(5), 2, 3, 3)
+
+
+class TestConstructExact:
+    def test_exact_counts(self):
+        """Remark after Theorem 6: exactly alpha_T' and alpha_R' per slot."""
+        source = polynomial_schedule(25, 3)  # every |T[i]| = 5
+        built = construct_exact(source, 2, 6)
+        assert all(c == 2 for c in built.tx_counts)
+        assert all(c == 6 for c in built.rx_counts)
+        assert is_topology_transparent(built, 3)
+
+    def test_no_optimization_applied(self):
+        source = polynomial_schedule(25, 3)
+        # construct() would cap alpha_T at alpha_T*; construct_exact must not.
+        built = construct_exact(source, 5, 6)
+        assert all(c == 5 for c in built.tx_counts)
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_frame_length_formula_exact(self, name, factory):
+        n, d, at, ar = 10, 2, 2, 4
+        source = factory(n, d)
+        res = construct_detailed(source, d, at, ar)
+        exact, bound = frame_length_formula(source, res.alpha_t_star, ar)
+        assert res.schedule.frame_length == exact
+        assert exact <= bound
+
+    def test_formula_components(self):
+        source = tdma_schedule(8)  # |T[i]| = 1 everywhere
+        res = construct_detailed(source, 2, 2, 3)
+        # k_T = ceil(1/aT*) = 1, k_R = ceil(7/3) = 3, L = 8 -> 24 entries.
+        assert res.schedule.frame_length == 8 * 3
+
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_formula_tracks_balanced_mode(self, balanced):
+        source = polynomial_schedule(25, 3)
+        res = construct_detailed(source, 3, 3, 10, balanced=balanced)
+        exact, _ = frame_length_formula(source, res.alpha_t_star, 10,
+                                        balanced=balanced)
+        assert res.schedule.frame_length == exact
+
+    def test_slot_origin_partition(self):
+        source = tdma_schedule(6)
+        res = construct_detailed(source, 2, 2, 2)
+        assert len(res.slot_origin) == res.schedule.frame_length
+        # Origins are non-decreasing and cover every source slot.
+        assert list(res.slot_origin) == sorted(res.slot_origin)
+        assert set(res.slot_origin) == set(range(source.frame_length))
+
+
+class TestTheorem8:
+    def test_optimal_when_source_thick_enough(self):
+        """min |T[i]| >= alpha_T* -> the construction attains Theorem 4."""
+        n, d, at, ar = 25, 3, 4, 6
+        source = polynomial_schedule(n, d)
+        assert min(source.tx_counts) >= \
+            optimal_transmitters_constrained(n, d, at)
+        built = construct(source, d, at, ar)
+        assert average_throughput(built, d) == \
+            constrained_upper_bound(n, d, at, ar)
+        assert thm8_ratio_lower_bound(source, d, at, ar) == 1
+
+    def test_bound_holds_for_thin_source(self):
+        n, d, at, ar = 12, 2, 3, 4
+        source = tdma_schedule(n)  # every |T[i]| = 1 < alpha_T*
+        built = construct(source, d, at, ar)
+        ratio = Fraction(average_throughput(built, d),
+                         constrained_upper_bound(n, d, at, ar))
+        bound = thm8_ratio_lower_bound(source, d, at, ar)
+        assert 0 < bound <= ratio < 1
+
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_division_invariance_of_average_throughput(self, balanced):
+        """The paper: the division choice does not change Thr_ave when the
+        source is uniform (all chunks hit size alpha_T* either way)."""
+        n, d, at, ar = 25, 3, 4, 10
+        source = polynomial_schedule(n, d)
+        built = construct(source, d, at, ar, balanced=balanced)
+        assert average_throughput(built, d) == \
+            constrained_upper_bound(n, d, at, ar)
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_min_throughput_bounds(self, name, factory):
+        n, d, at, ar = 9, 2, 2, 4
+        source = factory(n, d)
+        res = construct_detailed(source, d, at, ar)
+        built_min = min_throughput(res.schedule, d)
+        sharp = thm9_min_throughput_bound(
+            source, d, at, ar, constructed_length=res.schedule.frame_length)
+        closed = thm9_min_throughput_bound(source, d, at, ar)
+        assert built_min >= sharp
+        assert built_min >= closed
+
+    def test_slot_count_preserved_per_link(self):
+        """The Theorem 9 proof's core: per-(x,y,S) guaranteed-slot COUNTS
+        never decrease from source to constructed schedule."""
+        from itertools import combinations
+
+        from repro.core.throughput import guaranteed_slots
+
+        n, d, at, ar = 7, 2, 2, 3
+        source = tdma_schedule(n)
+        built = construct(source, d, at, ar)
+        for x in range(n):
+            for y in range(n):
+                if x == y:
+                    continue
+                others = [z for z in range(n) if z not in (x, y)]
+                for s in combinations(others, d - 1):
+                    assert guaranteed_slots(built, x, y, s).bit_count() >= \
+                        guaranteed_slots(source, x, y, s).bit_count()
+
+
+class TestBalancedVariant:
+    def test_transmit_share_equal_for_uniform_source(self):
+        n, d, at, ar = 25, 4, 3, 10
+        source = polynomial_schedule(n, d)
+        built = construct(source, d, at, ar, balanced=True)
+        shares = {built.transmit_share(x) for x in range(n)}
+        assert len(shares) == 1
+
+    def test_plain_can_be_unequal(self):
+        n, d, at, ar = 25, 4, 3, 10
+        source = polynomial_schedule(n, d)
+        built = construct(source, d, at, ar, balanced=False)
+        shares = {built.transmit_share(x) for x in range(n)}
+        assert len(shares) > 1  # the overlapping last chunk favours someone
+
+    def test_balanced_costs_frame_length(self):
+        n, d, at, ar = 25, 4, 3, 10
+        source = polynomial_schedule(n, d)
+        plain = construct(source, d, at, ar, balanced=False)
+        balanced = construct(source, d, at, ar, balanced=True)
+        assert balanced.frame_length >= plain.frame_length

@@ -1,0 +1,176 @@
+"""Worst-case latency analysis."""
+
+import pytest
+
+from repro.core.latency import (
+    frame_delay_bound,
+    link_access_delay,
+    max_cyclic_gap,
+    path_delay_bound,
+    worst_link_access_delay,
+)
+from repro.core.construction import construct
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.core.schedule import Schedule
+
+
+class TestMaxCyclicGap:
+    def test_single_slot(self):
+        # One slot per frame: worst wait is a full frame.
+        assert max_cyclic_gap(0b0001, 4) == 4
+
+    def test_two_slots(self):
+        assert max_cyclic_gap(0b00100010, 8) == 4
+
+    def test_every_slot(self):
+        assert max_cyclic_gap(0b1111, 4) == 1
+
+    def test_wraparound_dominates(self):
+        # Slots {0, 1}: the wrap gap 0 -> next frame's 0 is 7.
+        assert max_cyclic_gap(0b00000011, 8) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            max_cyclic_gap(0, 8)
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            max_cyclic_gap(0b10000, 4)
+
+
+class TestLinkDelay:
+    def test_tdma_delay_is_frame(self):
+        s = tdma_schedule(5)
+        # Node 0's only guaranteed slot recurs every n slots.
+        assert link_access_delay(s, 2, 0, 1) == 5
+
+    def test_non_transparent_raises(self):
+        s = Schedule.non_sleeping(4, [[0, 1], [2], [3]])
+        with pytest.raises(ValueError, match="no guaranteed slot"):
+            link_access_delay(s, 2, 0, 2)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            link_access_delay(tdma_schedule(4), 2, 1, 1)
+
+    def test_polynomial_beats_frame_bound(self):
+        """q guaranteed slots spread over q subframes: much better than 2L-1."""
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        worst = worst_link_access_delay(s, 2)
+        assert worst < frame_delay_bound(s)
+        assert worst <= s.frame_length  # at least one slot per frame
+
+    def test_constructed_schedule_has_finite_delay(self):
+        s = construct(polynomial_schedule(9, 2, q=3, k=1), 2, 2, 4)
+        worst = worst_link_access_delay(s, 2)
+        assert 0 < worst <= frame_delay_bound(s)
+
+
+class TestMeanWait:
+    def test_docstring_example(self):
+        from fractions import Fraction
+
+        from repro.core.latency import mean_cyclic_wait
+
+        assert mean_cyclic_wait(0b0001, 4) == Fraction(5, 2)
+
+    def test_every_slot_means_wait_one(self):
+        from repro.core.latency import mean_cyclic_wait
+
+        assert mean_cyclic_wait(0b1111, 4) == 1
+
+    def test_spread_beats_clustered(self):
+        """Two slots spread across the frame wait less than two adjacent."""
+        from repro.core.latency import mean_cyclic_wait
+
+        spread = mean_cyclic_wait(0b00010001, 8)
+        clustered = mean_cyclic_wait(0b00000011, 8)
+        assert spread < clustered
+
+    def test_empty_rejected(self):
+        from repro.core.latency import mean_cyclic_wait
+
+        with pytest.raises(ValueError, match="unbounded"):
+            mean_cyclic_wait(0, 8)
+
+    def test_matches_exhaustive_simulation(self):
+        """Inject one packet at every arrival phase; the measured mean
+        latency must equal mean_cyclic_wait exactly."""
+        from fractions import Fraction
+
+        from repro.core.latency import mean_cyclic_wait
+        from repro.core.transparency import sigma
+        from repro.simulation.engine import Packet, Simulator
+        from repro.simulation.topology import Topology
+        from repro.simulation.traffic import SaturatedTraffic
+
+        from repro.core.schedule import Schedule
+
+        # Node 0 -> node 1; node 1 listens in slots {1, 4} of a frame of 6.
+        sched = Schedule.from_sets(
+            2,
+            [[0], [0], [], [0], [0], []],
+            [[], [1], [], [], [1], []],
+        )
+        topo = Topology.from_edges(2, [(0, 1)])
+        mask = sigma(sched, 0, 1)
+        expected = mean_cyclic_wait(mask, sched.frame_length)
+
+        latencies = []
+        for phase in range(sched.frame_length):
+
+            class _Quiet:
+                saturated = False
+
+                def arrivals(self, slot):
+                    return []
+
+            sim = Simulator(topo, sched, _Quiet())
+            # Warm the clock to the phase, then inject one packet.
+            if phase:
+                sim.run_slots(phase)
+            sim.queues[0].append(Packet(0, 0, 1, phase, 1))
+            while not sim.metrics.latencies:
+                sim.step()
+            latencies.append(sim.metrics.latencies[-1])
+        assert Fraction(sum(latencies), len(latencies)) == expected
+
+    def test_mean_link_access_delay(self):
+        from repro.core.latency import (
+            link_access_delay,
+            mean_link_access_delay,
+        )
+
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        mean = mean_link_access_delay(s, 2, 0, 1)
+        worst = link_access_delay(s, 2, 0, 1)
+        assert 0 < mean <= worst
+
+    def test_mean_link_access_requires_transparency(self):
+        from repro.core.latency import mean_link_access_delay
+        from repro.core.schedule import Schedule
+
+        s = Schedule.non_sleeping(4, [[0, 1], [2], [3]])
+        with pytest.raises(ValueError, match="no guaranteed slot"):
+            mean_link_access_delay(s, 2, 0, 2)
+
+
+class TestPathDelay:
+    def test_additive(self):
+        s = tdma_schedule(5)
+        single = link_access_delay(s, 2, 0, 1)
+        assert path_delay_bound(s, 2, [0, 1, 2]) == \
+            single + link_access_delay(s, 2, 1, 2)
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            path_delay_bound(tdma_schedule(4), 2, [1])
+
+
+class TestFrameBound:
+    def test_value(self):
+        assert frame_delay_bound(tdma_schedule(6)) == 11
+
+    def test_dominates_exact(self):
+        for s in (tdma_schedule(5), polynomial_schedule(9, 2, q=3, k=1)):
+            assert worst_link_access_delay(s, 2) <= frame_delay_bound(s)

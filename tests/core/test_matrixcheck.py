@@ -1,0 +1,28 @@
+"""The NumPy-matrix transparency checker must agree with the bitmask one."""
+
+from hypothesis import given, settings
+
+from repro.core.matrixcheck import matrix_is_topology_transparent
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.core.transparency import is_topology_transparent
+from tests.conftest import schedule_with_degree_strategy
+
+
+class TestAgreement:
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=7))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bitmask_implementation(self, pair):
+        sched, d = pair
+        assert matrix_is_topology_transparent(sched, d) == \
+            is_topology_transparent(sched, d)
+
+    def test_known_positive(self):
+        assert matrix_is_topology_transparent(tdma_schedule(6), 3)
+        assert matrix_is_topology_transparent(
+            polynomial_schedule(9, 2, q=3, k=1), 2)
+
+    def test_known_negative(self):
+        from repro.core.schedule import Schedule
+
+        s = Schedule.non_sleeping(4, [[0, 1], [0, 2], [3]])
+        assert not matrix_is_topology_transparent(s, 2)

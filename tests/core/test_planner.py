@@ -1,0 +1,67 @@
+"""Deployment planner."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.planner import Plan, candidate_sources, plan_schedule
+from repro.core.throughput import average_throughput, constrained_upper_bound
+from repro.core.transparency import is_topology_transparent
+
+
+class TestCandidates:
+    def test_low_degree_includes_steiner(self):
+        names = {name for name, _ in candidate_sources(12, 2)}
+        assert {"tdma", "polynomial", "steiner", "projective", "mols"} <= names
+
+    def test_high_degree_drops_steiner(self):
+        names = {name for name, _ in candidate_sources(12, 3)}
+        assert "steiner" not in names
+
+    def test_all_candidates_non_sleeping(self):
+        for _, sched in candidate_sources(10, 2):
+            assert sched.is_non_sleeping()
+
+
+class TestPlan:
+    def test_budget_respected(self):
+        plan = plan_schedule(15, 2, max_duty=0.4)
+        assert plan.duty_cycle <= Fraction(2, 5)
+        assert plan.schedule.is_alpha_schedule(plan.alpha_t, plan.alpha_r)
+
+    def test_result_is_transparent(self):
+        plan = plan_schedule(12, 2, max_duty=0.5)
+        assert is_topology_transparent(plan.schedule, 2)
+
+    def test_throughput_field_exact(self):
+        plan = plan_schedule(12, 2, max_duty=0.5)
+        assert plan.throughput == average_throughput(plan.schedule, 2)
+        assert plan.throughput <= constrained_upper_bound(
+            12, 2, plan.alpha_t, plan.alpha_r)
+
+    def test_larger_budget_never_worse(self):
+        small = plan_schedule(15, 2, max_duty=0.3)
+        large = plan_schedule(15, 2, max_duty=0.7)
+        assert large.throughput >= small.throughput
+
+    def test_impossible_budget(self):
+        with pytest.raises(ValueError, match="duty budget"):
+            plan_schedule(15, 2, max_duty=0.05)  # < 2/15
+
+    def test_balanced_mode(self):
+        plan = plan_schedule(12, 2, max_duty=0.5, balanced=True)
+        assert plan.duty_cycle <= Fraction(1, 2)
+        assert is_topology_transparent(plan.schedule, 2)
+
+    def test_custom_families(self):
+        from repro.core.nonsleeping import tdma_schedule
+
+        plan = plan_schedule(10, 2, max_duty=0.6,
+                             families=[("tdma", tdma_schedule(10))])
+        assert plan.family == "tdma"
+
+    def test_plan_is_frozen_dataclass(self):
+        plan = plan_schedule(10, 2, max_duty=0.6)
+        assert isinstance(plan, Plan)
+        with pytest.raises(AttributeError):
+            plan.alpha_t = 99  # type: ignore[misc]

@@ -1,0 +1,111 @@
+"""Schedule serialization round trips and validation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.nonsleeping import polynomial_schedule
+from repro.core.serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from tests.conftest import random_schedule_strategy
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        assert schedule_from_dict(schedule_to_dict(s)) == s
+
+    def test_file_roundtrip(self, tmp_path):
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        path = tmp_path / "schedule.json"
+        save_schedule(s, path, meta={"n": 9, "D": 2, "family": "polynomial"})
+        assert load_schedule(path) == s
+        doc = json.loads(path.read_text())
+        assert doc["meta"]["family"] == "polynomial"
+
+    @given(sched=random_schedule_strategy(max_n=6, max_len=6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, sched):
+        assert schedule_from_dict(schedule_to_dict(sched)) == sched
+
+    def test_json_is_plain_lists(self):
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        doc = schedule_to_dict(s)
+        assert all(isinstance(slot, list) for slot in doc["tx"])
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+
+class TestValidation:
+    def test_wrong_format_tag(self):
+        with pytest.raises(ValueError, match="not a repro-schedule"):
+            schedule_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version(self):
+        doc = schedule_to_dict(polynomial_schedule(9, 2, q=3, k=1))
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            schedule_from_dict(doc)
+
+    def test_not_a_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            schedule_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_invalid_payload_caught_by_schedule_validation(self):
+        doc = schedule_to_dict(polynomial_schedule(9, 2, q=3, k=1))
+        doc["tx"][0] = [0]
+        doc["rx"][0] = [0]  # overlap: Schedule must reject
+        with pytest.raises(ValueError, match="intersect"):
+            schedule_from_dict(doc)
+
+    def test_missing_arrays(self):
+        with pytest.raises(ValueError, match="lists"):
+            schedule_from_dict({"format": "repro-schedule", "version": 1,
+                                "n": 3, "tx": [[0]]})
+
+
+class TestTopologySerialization:
+    def test_roundtrip(self):
+        from repro.core.serialization import topology_from_dict, topology_to_dict
+        from repro.simulation.topology import grid
+
+        t = grid(3, 4)
+        assert topology_from_dict(topology_to_dict(t)) == t
+
+    def test_json_compatible(self):
+        from repro.core.serialization import topology_to_dict
+        from repro.simulation.topology import ring
+
+        json.dumps(topology_to_dict(ring(5)))
+
+    def test_validation(self):
+        from repro.core.serialization import topology_from_dict
+
+        with pytest.raises(ValueError, match="repro-topology"):
+            topology_from_dict({"format": "other"})
+        with pytest.raises(ValueError, match="version"):
+            topology_from_dict({"format": "repro-topology", "version": 9})
+
+
+class TestFamilySerialization:
+    def test_roundtrip(self):
+        from repro.combinatorics.coverfree import CoverFreeFamily
+        from repro.core.serialization import family_from_dict, family_to_dict
+
+        fam = CoverFreeFamily.from_polynomial_code(3, 1, count=7)
+        restored = family_from_dict(family_to_dict(fam))
+        assert restored == fam
+        json.dumps(family_to_dict(fam))
+
+    def test_validation(self):
+        from repro.core.serialization import family_from_dict
+
+        with pytest.raises(ValueError, match="repro-coverfree"):
+            family_from_dict([])
+        with pytest.raises(ValueError, match="blocks"):
+            family_from_dict({"format": "repro-coverfree", "version": 1,
+                              "ground": 3, "blocks": "oops"})

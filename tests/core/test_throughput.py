@@ -1,0 +1,251 @@
+"""Worst-case throughput theory: Definitions 1-2, Theorems 2-4, g, r."""
+
+from fractions import Fraction
+from itertools import combinations
+from math import ceil, comb, floor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.core.schedule import Schedule
+from repro.core.throughput import (
+    average_throughput,
+    average_throughput_bruteforce,
+    constrained_upper_bound,
+    g,
+    g_upper_bound,
+    general_upper_bound,
+    guaranteed_slots,
+    min_throughput,
+    optimal_transmitters_constrained,
+    optimal_transmitters_general,
+    r_ratio,
+)
+from repro.core.transparency import is_topology_transparent
+from tests.conftest import random_schedule_strategy, schedule_with_degree_strategy
+
+
+def brute_min_throughput(sched: Schedule, d: int) -> Fraction:
+    """Definition 1 by full enumeration (test oracle)."""
+    n = sched.n
+    best = None
+    for x in range(n):
+        for y in range(n):
+            if y == x:
+                continue
+            others = [z for z in range(n) if z != x and z != y]
+            for s in combinations(others, d - 1):
+                v = guaranteed_slots(sched, x, y, s).bit_count()
+                if best is None or v < best:
+                    best = v
+    return Fraction(best, sched.frame_length)
+
+
+class TestGuaranteedSlots:
+    def test_definition(self):
+        s = tdma_schedule(4)
+        # x=0 transmits only in slot 0; y=1 listens there; interferers
+        # never transmit in slot 0.
+        assert guaranteed_slots(s, 0, 1, (2,)) == 0b0001
+        assert guaranteed_slots(s, 0, 1, (2, 3)) == 0b0001
+
+    def test_monotone_in_s(self):
+        s = polynomial_schedule(9, 2, q=3, k=1)
+        a = guaranteed_slots(s, 0, 1, (2,))
+        b = guaranteed_slots(s, 0, 1, (2, 3))
+        assert a & b == b  # larger S can only remove slots
+
+
+class TestTheorem2:
+    @given(pair=schedule_with_degree_strategy(max_n=7, max_len=6))
+    @settings(max_examples=60, deadline=None)
+    def test_closed_form_equals_definition(self, pair):
+        sched, d = pair
+        assert average_throughput(sched, d) == \
+            average_throughput_bruteforce(sched, d)
+
+    def test_depends_only_on_counts(self):
+        """Permuting WHO transmits leaves the average unchanged."""
+        s1 = Schedule.non_sleeping(5, [[0, 1], [2]])
+        s2 = Schedule.non_sleeping(5, [[3, 4], [0]])
+        assert average_throughput(s1, 2) == average_throughput(s2, 2)
+
+    def test_tdma_value(self):
+        # TDMA: every slot has 1 transmitter, n-1 receivers.
+        # Thr = n * 1 * (n-1) * C(n-2, D-1) / (n (n-1) C(n-2,D-1) n) = 1/n.
+        for n, d in [(5, 2), (6, 3), (8, 4)]:
+            assert average_throughput(tdma_schedule(n), d) == Fraction(1, n)
+
+    def test_empty_slot_contributes_zero(self):
+        s = Schedule.from_sets(4, [[0], []], [[1], [1]])
+        s_single = Schedule.from_sets(4, [[0]], [[1]])
+        # The empty slot halves the average (same F, doubled L).
+        assert average_throughput(s, 2) == average_throughput(s_single, 2) / 2
+
+
+class TestMinThroughput:
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=6))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_matches_bruteforce(self, pair):
+        sched, d = pair
+        assert min_throughput(sched, d) == brute_min_throughput(sched, d)
+
+    def test_positive_iff_transparent(self):
+        """Section 5: Thr_min > 0 <=> the schedule is topology-transparent."""
+        cases = [
+            tdma_schedule(5),
+            Schedule.non_sleeping(5, [[0, 1], [2], [3]]),   # 4 never transmits
+            Schedule.from_sets(5, [[0], [1], [2], [3], [4]],
+                               [[1], [0], [0], [0], [0]]),
+        ]
+        for sched in cases:
+            assert (min_throughput(sched, 2) > 0) == \
+                is_topology_transparent(sched, 2)
+
+    def test_tdma_value(self):
+        assert min_throughput(tdma_schedule(6), 3) == Fraction(1, 6)
+
+    def test_sampled_upper_bounds_exact(self, rng):
+        sched = polynomial_schedule(9, 2, q=3, k=1)
+        exact = min_throughput(sched, 2, exact=True)
+        sampled = min_throughput(sched, 2, exact=False, samples=30, rng=rng)
+        assert sampled >= exact
+
+    def test_degree_bound_validated(self):
+        with pytest.raises(ValueError):
+            min_throughput(tdma_schedule(3), 3)  # D must be <= n - 1
+        with pytest.raises(ValueError):
+            min_throughput(tdma_schedule(5), 1)  # D must be >= 2
+
+
+class TestG:
+    @pytest.mark.parametrize("n,d", [(8, 2), (10, 3), (15, 4), (20, 6)])
+    def test_property1_upper_bound(self, n, d):
+        bound = g_upper_bound(n, d)
+        for x in range(n):
+            assert g(n, d, x) <= bound
+
+    @pytest.mark.parametrize("n,d", [(8, 2), (10, 3), (15, 4), (20, 6), (9, 2)])
+    def test_property2_maximizer_location(self, n, d):
+        best = max(range(n), key=lambda x: (g(n, d, x), -x))
+        fl = floor((n - d) / (d + 1))
+        ce = ceil((n - d) / (d + 1))
+        assert best in {fl, ce}
+
+    def test_zero_at_extremes(self):
+        assert g(10, 3, 0) == 0
+        # x = n leaves no receivers: C(0, 3) = 0.
+        assert g(10, 3, 10) == 0
+
+    def test_interpretation(self):
+        """g(n,D,x) is the average throughput of a non-sleeping schedule with
+        x transmitters in every slot."""
+        n, d, x = 7, 2, 2
+        sched = Schedule.non_sleeping(n, [list(range(x))])
+        assert average_throughput(sched, d) == g(n, d, x)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("n,d", [(8, 2), (10, 3), (16, 4), (25, 3)])
+    def test_alpha_star_maximizes_g(self, n, d):
+        at = optimal_transmitters_general(n, d)
+        assert g(n, d, at) == max(g(n, d, x) for x in range(n))
+
+    @given(pair=schedule_with_degree_strategy(max_n=7, max_len=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_dominates_all_schedules(self, pair):
+        sched, d = pair
+        assert average_throughput(sched, d) <= general_upper_bound(sched.n, d)
+
+    @pytest.mark.parametrize("n,d", [(8, 2), (12, 3), (20, 4)])
+    def test_attained_by_optimal_non_sleeping(self, n, d):
+        at = optimal_transmitters_general(n, d)
+        sched = Schedule.non_sleeping(n, [list(range(at))])
+        assert average_throughput(sched, d) == general_upper_bound(n, d)
+
+    @pytest.mark.parametrize("n,d", [(8, 2), (12, 3), (20, 4)])
+    def test_loose_bound_dominates(self, n, d):
+        assert general_upper_bound(n, d) <= g_upper_bound(n, d)
+
+    def test_sleeping_schedule_strictly_below(self):
+        """Only non-sleeping schedules with the optimal counts attain it."""
+        n, d = 8, 2
+        at = optimal_transmitters_general(n, d)
+        # Same transmitters but one receiver short of the complement.
+        sched = Schedule.from_sets(
+            n, [list(range(at))], [list(range(at, n - 1))])
+        assert average_throughput(sched, d) < general_upper_bound(n, d)
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("n,d,at", [(10, 2, 3), (15, 3, 2), (20, 4, 10)])
+    def test_alpha_star_definition(self, n, d, at):
+        star = optimal_transmitters_constrained(n, d, at)
+        assert star <= at
+        fl = floor((n - d) / d)
+        ce = ceil((n - d) / d)
+        assert star in {at, fl, ce}
+
+    @given(pair=schedule_with_degree_strategy(max_n=7, max_len=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_dominates_alpha_schedules(self, pair):
+        sched, d = pair
+        at = max(sched.tx_counts) or 1
+        ar = max(sched.rx_counts) or 1
+        assert average_throughput(sched, d) <= \
+            constrained_upper_bound(sched.n, d, at, ar)
+
+    @pytest.mark.parametrize("n,d,at,ar", [(10, 2, 3, 4), (12, 3, 2, 5)])
+    def test_attained_by_exact_count_schedule(self, n, d, at, ar):
+        star = optimal_transmitters_constrained(n, d, at)
+        sched = Schedule.from_sets(
+            n, [list(range(star))], [list(range(star, star + ar))])
+        assert average_throughput(sched, d) == \
+            constrained_upper_bound(n, d, at, ar)
+
+    def test_monotone_in_alpha_r(self):
+        n, d, at = 15, 3, 3
+        values = [constrained_upper_bound(n, d, at, ar) for ar in range(1, 12)]
+        assert values == sorted(values)
+        # Exactly linear in alpha_R:
+        assert values[5] == values[0] * 6
+
+    def test_saturates_in_alpha_t(self):
+        n, d = 15, 3
+        big = constrained_upper_bound(n, d, 8, 4)
+        bigger = constrained_upper_bound(n, d, 11, 4)
+        assert big == bigger  # alpha beyond (n-D)/D stops helping
+
+
+class TestRRatio:
+    def test_unity_at_star(self):
+        n, d = 20, 3
+        star = optimal_transmitters_constrained(n, d, 4)
+        assert r_ratio(n, d, star, star) == 1
+
+    def test_matches_throughput_ratio(self):
+        """r(x) == g-style per-slot contribution ratio at alpha_R receivers."""
+        n, d, ar = 12, 3, 4
+        star = optimal_transmitters_constrained(n, d, 3)
+        for x in range(1, 6):
+            sched = Schedule.from_sets(
+                n, [list(range(x))], [list(range(x, x + ar))])
+            ratio = Fraction(average_throughput(sched, d),
+                             constrained_upper_bound(n, d, 3, ar))
+            assert ratio == r_ratio(n, d, star, x)
+
+    def test_undefined_when_star_too_large(self):
+        with pytest.raises(ValueError, match="undefined"):
+            r_ratio(6, 3, 5, 2)
+
+
+@given(sched=random_schedule_strategy(max_n=6, max_len=5),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_average_at_least_min(sched, d):
+    """The average worst-case throughput dominates the minimum."""
+    if d > sched.n - 1 or sched.n - 2 < d - 1:
+        return
+    assert average_throughput(sched, d) >= min_throughput(sched, d)

@@ -1,0 +1,172 @@
+"""Topology-transparency requirements: definitions, equivalence, checkers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonsleeping import tdma_schedule
+from repro.core.schedule import Schedule
+from repro.core.transparency import (
+    find_transparency_violation,
+    free_slots,
+    is_topology_transparent,
+    satisfies_requirement1,
+    satisfies_requirement2,
+    satisfies_requirement3,
+    sigma,
+)
+from tests.conftest import random_schedule_strategy, schedule_with_degree_strategy
+
+
+class TestPrimitives:
+    def test_free_slots_definition(self):
+        s = Schedule.non_sleeping(4, [[0, 1], [0], [2]])
+        # tran(0) = {0, 1}; subtracting tran(1) = {0} leaves slot 1.
+        assert free_slots(s, 0, [1]) == 0b010
+        assert free_slots(s, 0, [2]) == 0b011
+        assert free_slots(s, 0, [1, 2]) == 0b010
+
+    def test_free_slots_empty_y(self):
+        s = Schedule.non_sleeping(3, [[0], [1]])
+        assert free_slots(s, 0, []) == s.tran_mask(0)
+
+    def test_sigma_definition(self):
+        s = Schedule.from_sets(3, [[0], [1]], [[1], [0, 2]])
+        assert sigma(s, 0, 1) == 0b01
+        assert sigma(s, 1, 0) == 0b10
+        assert sigma(s, 1, 2) == 0b10
+        assert sigma(s, 0, 2) == 0
+
+    def test_sigma_never_self_slot(self):
+        # sigma(a, b) excludes slots where b transmits (tx/rx disjoint).
+        s = Schedule.non_sleeping(3, [[0, 1], [2]])
+        assert sigma(s, 0, 1) == 0  # slot 0 has node 1 transmitting
+
+
+class TestRequirement1:
+    def test_tdma_satisfies(self):
+        s = tdma_schedule(5)
+        for d in range(2, 5):
+            assert satisfies_requirement1(s, d)
+
+    def test_silent_node_fails(self):
+        s = Schedule.non_sleeping(4, [[0], [1], [2]])  # node 3 never transmits
+        assert not satisfies_requirement1(s, 2)
+
+    def test_covered_node_fails(self):
+        # Node 0 transmits only where 1 or 2 also transmit.
+        s = Schedule.non_sleeping(4, [[0, 1], [0, 2], [3]])
+        assert not satisfies_requirement1(s, 2)
+        assert satisfies_requirement1(s, 2) == satisfies_requirement3(s, 2)
+
+
+class TestRequirementEquivalence:
+    """Theorem 1: Requirement 2 <=> Requirement 3."""
+
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=7))
+    @settings(max_examples=60, deadline=None)
+    def test_req2_iff_req3(self, pair):
+        sched, d = pair
+        assert satisfies_requirement2(sched, d) == \
+            satisfies_requirement3(sched, d)
+
+    def test_known_positive(self):
+        s = tdma_schedule(5)
+        assert satisfies_requirement2(s, 3)
+        assert satisfies_requirement3(s, 3)
+
+    def test_known_negative(self):
+        # A schedule where some node never receives cannot satisfy (2).
+        s = Schedule.from_sets(4, [[0], [1], [2], [3]],
+                               [[1], [2], [3], [1]])  # node 0 never receives
+        assert not satisfies_requirement2(s, 2)
+        assert not satisfies_requirement3(s, 2)
+
+
+class TestExactChecker:
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=7))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_matches_definitional(self, pair):
+        sched, d = pair
+        assert is_topology_transparent(sched, d) == \
+            satisfies_requirement2(sched, d)
+
+    def test_tdma_transparent_all_degrees(self):
+        s = tdma_schedule(6)
+        for d in range(2, 6):
+            assert is_topology_transparent(s, d)
+
+    def test_duty_cycled_positive(self):
+        # TDMA with only a couple of receivers per slot is still TT for
+        # small D when every potential neighbour keeps a free listen slot.
+        n = 4
+        tx = [[i] for i in range(n)]
+        rx = [sorted(set(range(n)) - {i}) for i in range(n)]
+        s = Schedule.from_sets(n, tx, rx)
+        assert is_topology_transparent(s, 2)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            is_topology_transparent(tdma_schedule(4), 2, method="magic")
+
+    def test_class_params_validated(self):
+        with pytest.raises(ValueError):
+            is_topology_transparent(tdma_schedule(4), 1)
+        with pytest.raises(ValueError):
+            is_topology_transparent(tdma_schedule(4), 4)
+
+
+class TestSampledChecker:
+    @given(pair=schedule_with_degree_strategy(max_n=6, max_len=6))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_true_when_exact_true(self, pair):
+        """The refuter has no false positives: violations it reports are real,
+        so a truly transparent schedule always passes."""
+        sched, d = pair
+        if is_topology_transparent(sched, d):
+            assert is_topology_transparent(
+                sched, d, method="sampled", samples=200,
+                rng=np.random.default_rng(0))
+
+    def test_sampled_finds_blatant_violation(self):
+        s = Schedule.from_sets(4, [[0], [1], [2], [3]],
+                               [[1], [2], [3], [1]])
+        assert not is_topology_transparent(
+            s, 2, method="sampled", samples=500, rng=np.random.default_rng(1))
+
+
+class TestViolationWitness:
+    def test_witness_is_valid(self):
+        s = Schedule.non_sleeping(4, [[0, 1], [0, 2], [3]])
+        witness = find_transparency_violation(s, 2)
+        assert witness is not None
+        x, y, interferers = witness
+        target = sigma(s, x, y)
+        union = 0
+        for z in interferers:
+            union |= sigma(s, z, y)
+        assert target & ~union == 0  # genuinely covered
+
+    def test_no_witness_for_transparent(self):
+        assert find_transparency_violation(tdma_schedule(5), 3) is None
+
+    @given(pair=schedule_with_degree_strategy(max_n=5, max_len=6))
+    @settings(max_examples=30, deadline=None)
+    def test_witness_iff_not_transparent(self, pair):
+        sched, d = pair
+        witness = find_transparency_violation(sched, d)
+        assert (witness is None) == is_topology_transparent(sched, d)
+
+
+@given(sched=random_schedule_strategy(max_n=6, max_len=6),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_requirement3_condition2_implies_condition1(sched, d):
+    """The paper notes condition (2) implies condition (1): if every y_k has
+    a free listen slot then free slots exist at all.  Check via the full
+    requirement implying Requirement 1 on <T>."""
+    if d > sched.n - 1:
+        return
+    if satisfies_requirement3(sched, d):
+        assert satisfies_requirement1(sched, d)

@@ -1,0 +1,83 @@
+"""Monotonicity properties implied by the paper's definitions.
+
+The network classes nest — ``N_n'^{D'} ⊆ N_n^D`` when ``n' <= n`` and
+``D' <= D`` — so transparency must be monotone under shrinking the class,
+and the throughput bounds must move the right way.  These are consequences
+the paper never states but any correct implementation must satisfy; they
+make strong cross-module property tests.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.core.throughput import (
+    constrained_upper_bound,
+    general_upper_bound,
+    min_throughput,
+)
+from repro.core.transparency import is_topology_transparent
+from tests.conftest import random_schedule_strategy
+
+
+@given(sched=random_schedule_strategy(max_n=6, max_len=6),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_transparency_monotone_in_degree(sched, d):
+    """TT for N_n^D implies TT for N_n^{D'} with D' <= D: fewer interferers
+    can only help."""
+    if d > sched.n - 1:
+        return
+    if is_topology_transparent(sched, d):
+        for d_smaller in range(2, d):
+            assert is_topology_transparent(sched, d_smaller)
+
+
+@given(sched=random_schedule_strategy(max_n=7, max_len=6),
+       d=st.integers(min_value=2, max_value=3),
+       n_prime=st.integers(min_value=4, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_transparency_survives_node_restriction(sched, d, n_prime):
+    """A TT schedule restricted to the first n' node ids stays TT for the
+    shrunken class (the quantified sets only get smaller)."""
+    if d > sched.n - 1 or n_prime >= sched.n or d > n_prime - 1:
+        return
+    if is_topology_transparent(sched, d):
+        assert is_topology_transparent(sched.restricted_to(n_prime), d)
+
+
+@given(sched=random_schedule_strategy(max_n=6, max_len=6),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_min_throughput_antitone_in_degree(sched, d):
+    """More possible interferers can only lower the guaranteed minimum."""
+    if d > sched.n - 1:
+        return
+    values = [min_throughput(sched, dd) for dd in range(2, d + 1)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_general_bound_antitone_in_degree():
+    """Theorem 3's optimum decreases as the degree bound grows."""
+    for n in (10, 25, 60):
+        values = [general_upper_bound(n, d) for d in range(2, 7)]
+        assert values == sorted(values, reverse=True)
+
+
+def test_constrained_bound_monotone_in_budgets():
+    """Theorem 4's bound never decreases when either budget grows."""
+    n, d = 20, 3
+    for ar in (2, 5, 9):
+        values = [constrained_upper_bound(n, d, at, ar) for at in range(1, 10)]
+        assert values == sorted(values)
+    for at in (1, 3, 6):
+        values = [constrained_upper_bound(n, d, at, ar) for ar in range(1, 12)]
+        assert values == sorted(values)
+
+
+def test_substrate_degree_headroom():
+    """A family built for degree D serves every smaller degree too."""
+    sched = polynomial_schedule(16, 3)
+    for d in (2, 3):
+        assert is_topology_transparent(sched, d)
+    assert is_topology_transparent(tdma_schedule(8), 7)

@@ -1,0 +1,104 @@
+"""End-to-end pipeline: substrate -> transparency -> construction -> simulation.
+
+Each scenario runs the full paper pipeline for one parameter point and
+checks every theorem's claim along the way — the library-level contract a
+downstream user relies on.
+"""
+
+import pytest
+
+from repro import (
+    average_throughput,
+    constrained_upper_bound,
+    construct,
+    is_topology_transparent,
+    min_throughput,
+    optimal_transmitters_constrained,
+    thm8_ratio_lower_bound,
+    thm9_min_throughput_bound,
+)
+from repro.core.construction import construct_detailed, frame_length_formula
+from repro.core.nonsleeping import (
+    best_nonsleeping_schedule,
+    polynomial_schedule,
+    steiner_schedule,
+    tdma_schedule,
+)
+from repro.core.throughput import guaranteed_slots
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import random_capped, worst_case_regular
+from repro.simulation.traffic import SaturatedTraffic
+
+import numpy as np
+
+SCENARIOS = [
+    # (n, D, alpha_t, alpha_r, source factory)
+    (9, 2, 2, 3, lambda n, d: polynomial_schedule(n, d)),
+    (12, 2, 3, 4, lambda n, d: steiner_schedule(n, d)),
+    (10, 3, 2, 4, lambda n, d: tdma_schedule(n)),
+    (13, 3, 3, 6, lambda n, d: best_nonsleeping_schedule(n, d)[1]),
+]
+
+
+@pytest.mark.parametrize("n,d,at,ar,factory", SCENARIOS)
+class TestFullPipeline:
+    def test_pipeline_guarantees(self, n, d, at, ar, factory):
+        source = factory(n, d)
+        # The substrate really is a TT non-sleeping schedule.
+        assert source.is_non_sleeping()
+        assert is_topology_transparent(source, d)
+
+        res = construct_detailed(source, d, at, ar)
+        built = res.schedule
+
+        # Theorem 6: correctness.
+        assert built.is_alpha_schedule(at, ar)
+        assert is_topology_transparent(built, d)
+
+        # Theorem 7: frame length, exactly.
+        exact, bound = frame_length_formula(source, res.alpha_t_star, ar)
+        assert built.frame_length == exact <= bound
+
+        # Theorem 8: throughput ratio at least the bound; equality when
+        # the source is thick enough.
+        ratio = average_throughput(built, d) / constrained_upper_bound(
+            n, d, at, ar)
+        lower = thm8_ratio_lower_bound(source, d, at, ar)
+        assert ratio >= lower
+        if min(source.tx_counts) >= optimal_transmitters_constrained(n, d, at):
+            assert ratio == 1
+
+        # Theorem 9: minimum throughput bound, and transparency shows up
+        # as a positive minimum.
+        built_min = min_throughput(built, d)
+        assert built_min >= thm9_min_throughput_bound(
+            source, d, at, ar, constructed_length=built.frame_length)
+        assert built_min > 0
+
+    def test_simulation_agrees_with_analysis(self, n, d, at, ar, factory):
+        source = factory(n, d)
+        built = construct(source, d, at, ar)
+        if (n * d) % 2 == 0:
+            topo = worst_case_regular(n, d, seed=n * d)
+        else:
+            topo = random_capped(n, d, p=0.6, rng=np.random.default_rng(n))
+        sim = Simulator(topo, built, SaturatedTraffic(topo))
+        metrics = sim.run(frames=1)
+        for x, y in topo.directed_links():
+            s = tuple(sorted(topo.neighbors(y) - {x}))
+            assert metrics.successes.get((x, y), 0) == \
+                guaranteed_slots(built, x, y, s).bit_count()
+
+    def test_every_link_served_within_a_frame(self, n, d, at, ar, factory):
+        """The user-facing promise: on ANY in-class topology, every directed
+        link sees at least one success per frame."""
+        source = factory(n, d)
+        built = construct(source, d, at, ar)
+        rng = np.random.default_rng(17 + n)
+        for trial in range(3):
+            topo = random_capped(n, d, p=0.5, rng=rng)
+            sim = Simulator(topo, built, SaturatedTraffic(topo))
+            metrics = sim.run(frames=1)
+            for x, y in topo.directed_links():
+                assert metrics.successes.get((x, y), 0) >= 1, \
+                    f"link {x}->{y} starved on trial {trial}"

@@ -1,0 +1,119 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.coverfree import CoverFreeFamily
+from repro.core.construction import construct_detailed
+from repro.core.nonsleeping import from_cover_free_family, tdma_schedule
+from repro.core.throughput import average_throughput, min_throughput
+from repro.core.transparency import (
+    is_topology_transparent,
+    satisfies_requirement1,
+)
+from tests.conftest import random_schedule_strategy
+
+
+@st.composite
+def cover_free_family_strategy(draw):
+    """Random small families with nonempty blocks."""
+    ground = draw(st.integers(min_value=3, max_value=8))
+    size = draw(st.integers(min_value=3, max_value=6))
+    blocks = tuple(
+        draw(st.integers(min_value=1, max_value=(1 << ground) - 1))
+        for _ in range(size)
+    )
+    return CoverFreeFamily(ground, blocks)
+
+
+@given(fam=cover_free_family_strategy(),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_cff_strength_iff_requirement1(fam, d):
+    """The paper's bridge: D-cover-freeness of tran sets == Requirement 1."""
+    if d > fam.size - 1:
+        return
+    sched = from_cover_free_family(fam, fam.size)
+    assert satisfies_requirement1(sched, d) == fam.is_d_cover_free(d)
+
+
+@given(fam=cover_free_family_strategy(),
+       d=st.integers(min_value=2, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_non_sleeping_requirement1_equals_full_transparency(fam, d):
+    """For non-sleeping schedules condition (2) of Requirement 3 is free:
+    every non-transmitter listens, so Requirement 1 decides transparency."""
+    if d > fam.size - 1:
+        return
+    sched = from_cover_free_family(fam, fam.size)
+    assert is_topology_transparent(sched, d) == \
+        satisfies_requirement1(sched, d)
+
+
+@given(sched=random_schedule_strategy(max_n=6, max_len=6),
+       d=st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_transparency_iff_positive_min_throughput(sched, d):
+    """Section 5's characterization, across random schedules."""
+    if d > sched.n - 1:
+        return
+    assert (min_throughput(sched, d) > 0) == is_topology_transparent(sched, d)
+
+
+@given(n=st.integers(min_value=5, max_value=9),
+       d=st.integers(min_value=2, max_value=3),
+       at=st.integers(min_value=1, max_value=3),
+       ar=st.integers(min_value=1, max_value=4),
+       balanced=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_construction_always_preserves_transparency(n, d, at, ar, balanced):
+    """Theorem 6 as a property over the parameter space (TDMA source)."""
+    if d > n - 1 or at + ar > n:
+        return
+    source = tdma_schedule(n)
+    res = construct_detailed(source, d, at, ar, balanced=balanced)
+    assert res.schedule.is_alpha_schedule(at, ar)
+    assert is_topology_transparent(res.schedule, d)
+
+
+@given(n=st.integers(min_value=5, max_value=8),
+       d=st.integers(min_value=2, max_value=3),
+       at=st.integers(min_value=1, max_value=3),
+       ar=st.integers(min_value=2, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_division_strategy_does_not_change_average_throughput_ordering(
+        n, d, at, ar):
+    """Both divisions produce slots with identical (|T|, |R|) counts, so by
+    Theorem 2 the average worst-case throughput — a per-slot average — is
+    the same even when the balanced variant emits more slots.  This is the
+    paper's division-invariance claim (after Figure 2) as a property."""
+    if d > n - 1 or at + ar > n:
+        return
+    source = tdma_schedule(n)
+    plain = construct_detailed(source, d, at, ar, balanced=False).schedule
+    balanced = construct_detailed(source, d, at, ar, balanced=True).schedule
+    assert average_throughput(plain, d) == average_throughput(balanced, d)
+    # The balanced variant may only lengthen the frame, never shorten it.
+    assert balanced.frame_length >= plain.frame_length
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_simulation_matches_analysis_on_random_topologies(seed):
+    """E8 as a property: random in-class topology, exact per-link match."""
+    from repro.core.throughput import guaranteed_slots
+    from repro.simulation.engine import Simulator
+    from repro.simulation.topology import random_capped
+    from repro.simulation.traffic import SaturatedTraffic
+
+    rng = np.random.default_rng(seed)
+    n, d = 8, 2
+    topo = random_capped(n, d, p=0.4, rng=rng)
+    sched = tdma_schedule(n)
+    sim = Simulator(topo, sched, SaturatedTraffic(topo))
+    metrics = sim.run(frames=1)
+    for x, y in topo.directed_links():
+        s = tuple(sorted(topo.neighbors(y) - {x}))
+        assert metrics.successes.get((x, y), 0) == \
+            guaranteed_slots(sched, x, y, s).bit_count()

@@ -1,0 +1,36 @@
+"""Clock-drift probe."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.drift import ClockDrift
+
+
+class TestClockDrift:
+    def test_none_is_synchronous(self):
+        d = ClockDrift.none(5)
+        assert d.is_synchronous
+        assert d.local_slot(2, 17, 10) == 7
+
+    def test_uniform_bounds(self):
+        d = ClockDrift.uniform(50, 3, rng=np.random.default_rng(0))
+        assert all(-3 <= o <= 3 for o in d.offsets)
+        assert len(d.offsets) == 50
+
+    def test_uniform_zero_offset(self):
+        d = ClockDrift.uniform(10, 0, rng=np.random.default_rng(0))
+        assert d.is_synchronous
+
+    def test_local_slot_wraps(self):
+        d = ClockDrift((-2,))
+        assert d.local_slot(0, 0, 10) == 8
+        assert d.local_slot(0, 1, 10) == 9
+        assert d.local_slot(0, 2, 10) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockDrift.none(0)
+        with pytest.raises(ValueError):
+            ClockDrift.uniform(5, -1)
+        with pytest.raises(ValueError):
+            ClockDrift((0,)).local_slot(0, -1, 10)

@@ -1,0 +1,112 @@
+"""Engine conservation and accounting invariants, property-based.
+
+Whatever the schedule, topology and traffic, certain books must balance:
+energy states sum to node-slots, per-link successes never exceed
+attempts, collisions only occur where >= 2 eligible neighbours exist,
+and queued packets are conserved.  Hypothesis drives random scenarios.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonsleeping import tdma_schedule
+from repro.simulation.energy import RadioState
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import random_capped
+from repro.simulation.traffic import PoissonTraffic, SaturatedTraffic
+from tests.conftest import random_schedule_strategy
+
+
+@st.composite
+def scenario(draw):
+    """A random (schedule, topology, seed) triple with matching sizes."""
+    sched = draw(random_schedule_strategy(max_n=7, max_len=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    d_cap = draw(st.integers(min_value=2, max_value=sched.n - 1))
+    topo = random_capped(sched.n, d_cap, p=0.5, rng=rng)
+    return sched, topo, seed
+
+
+@given(sc=scenario())
+@settings(max_examples=30, deadline=None)
+def test_energy_states_sum_to_node_slots(sc):
+    sched, topo, _ = sc
+    sim = Simulator(topo, sched, SaturatedTraffic(topo))
+    slots = 2 * sched.frame_length
+    sim.run_slots(slots)
+    total = sum(int(v.sum()) for v in sim.energy.state_slots.values())
+    assert total == slots * topo.n
+
+
+@given(sc=scenario())
+@settings(max_examples=30, deadline=None)
+def test_successes_bounded_by_attempts(sc):
+    sched, topo, _ = sc
+    sim = Simulator(topo, sched, SaturatedTraffic(topo))
+    m = sim.run_slots(2 * sched.frame_length)
+    for link, successes in m.successes.items():
+        assert successes <= m.attempts.get(link, 0)
+
+
+@given(sc=scenario())
+@settings(max_examples=25, deadline=None)
+def test_queued_packet_conservation(sc):
+    sched, topo, seed = sc
+    rng = np.random.default_rng(seed + 1)
+    sim = Simulator(topo, sched, PoissonTraffic(topo, 0.2, rng),
+                    queue_limit=8)
+    m = sim.run_slots(3 * sched.frame_length)
+    assert m.generated == m.delivered + m.dropped + sim.pending_packets
+
+
+@given(sc=scenario())
+@settings(max_examples=25, deadline=None)
+def test_collisions_require_two_eligible_neighbours(sc):
+    """A collision at y needs >= 2 transmit-eligible neighbours in some slot."""
+    sched, topo, _ = sc
+    sim = Simulator(topo, sched, SaturatedTraffic(topo))
+    m = sim.run_slots(sched.frame_length)
+    for y, count in m.collisions.items():
+        if count == 0:
+            continue
+        possible = False
+        for i in range(sched.frame_length):
+            eligible = sum(
+                1 for x in topo.neighbors(y) if sched.tx[i] >> x & 1
+            )
+            if eligible >= 2:
+                possible = True
+                break
+        assert possible, f"collision at {y} without two eligible neighbours"
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_saturated_run_is_deterministic(seed):
+    """Saturated mode uses no randomness: identical runs, identical books."""
+    rng = np.random.default_rng(seed)
+    topo = random_capped(8, 3, p=0.5, rng=rng)
+    sched = tdma_schedule(8)
+    m1 = Simulator(topo, sched, SaturatedTraffic(topo)).run(frames=2)
+    m2 = Simulator(topo, sched, SaturatedTraffic(topo)).run(frames=2)
+    assert dict(m1.successes) == dict(m2.successes)
+    assert dict(m1.collisions) == dict(m2.collisions)
+
+
+@given(sc=scenario())
+@settings(max_examples=20, deadline=None)
+def test_transmit_slots_match_energy_accounting(sc):
+    """Every recorded TRANSMIT slot corresponds to a real transmission:
+    under saturation, tx-state slot counts equal eligible-and-connected
+    slot counts."""
+    sched, topo, _ = sc
+    sim = Simulator(topo, sched, SaturatedTraffic(topo))
+    frames = 2
+    sim.run(frames=frames)
+    for x in range(topo.n):
+        expected = 0
+        if topo.degree(x) > 0:
+            expected = frames * sched.tran_mask(x).bit_count()
+        assert sim.energy.state_slots[RadioState.TRANSMIT][x] == expected

@@ -1,0 +1,72 @@
+"""Slot-event tracing."""
+
+import numpy as np
+
+from repro.core.nonsleeping import tdma_schedule
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import ring, star
+from repro.simulation.traffic import PoissonTraffic, SaturatedTraffic
+from repro.simulation.trace import TraceRecorder
+from repro.core.schedule import Schedule
+
+
+class TestTraceRecorder:
+    def test_records_every_slot(self):
+        sim = Simulator(ring(4), tdma_schedule(4), SaturatedTraffic(ring(4)))
+        trace = TraceRecorder(sim)
+        trace.run(frames=2)
+        assert len(trace.events) == 8
+        assert [e.slot for e in trace.events] == list(range(8))
+
+    def test_successes_match_metrics(self):
+        topo = ring(5)
+        sim = Simulator(topo, tdma_schedule(5), SaturatedTraffic(topo))
+        trace = TraceRecorder(sim)
+        trace.run(frames=1)
+        per_trace = {}
+        for e in trace.events:
+            for link in e.successes:
+                per_trace[link] = per_trace.get(link, 0) + 1
+        assert per_trace == dict(sim.metrics.successes)
+
+    def test_collisions_identified(self):
+        topo = star(3, 2)
+        sched = Schedule.non_sleeping(3, [[1, 2]])
+        sim = Simulator(topo, sched, SaturatedTraffic(topo))
+        trace = TraceRecorder(sim)
+        trace.run(frames=2)
+        assert all(e.collisions == (0,) for e in trace.events)
+        assert all(set(e.transmitters) == {1, 2} for e in trace.events)
+
+    def test_listeners_reported(self):
+        sim = Simulator(ring(4), tdma_schedule(4), SaturatedTraffic(ring(4)))
+        trace = TraceRecorder(sim)
+        event = trace.step()
+        assert event.listeners == (1, 2, 3)  # all but the slot-0 owner
+
+    def test_ring_buffer_capacity(self):
+        sim = Simulator(ring(4), tdma_schedule(4), SaturatedTraffic(ring(4)))
+        trace = TraceRecorder(sim, capacity=5)
+        trace.run_slots(12)
+        assert len(trace.events) == 5
+        assert trace.events[0].slot == 7  # oldest events evicted
+
+    def test_csv_export(self, tmp_path):
+        sim = Simulator(ring(4), tdma_schedule(4), SaturatedTraffic(ring(4)))
+        trace = TraceRecorder(sim)
+        trace.run(frames=1)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "slot,transmitters,listeners,successes,collisions"
+        assert len(lines) == 5
+
+    def test_queued_mode(self):
+        topo = ring(4)
+        rng = np.random.default_rng(0)
+        sim = Simulator(topo, tdma_schedule(4), PoissonTraffic(topo, 0.2, rng))
+        trace = TraceRecorder(sim)
+        trace.run(frames=10)
+        assert len(trace.events) == 40
+        total = sum(len(e.successes) for e in trace.events)
+        assert total == sum(sim.metrics.successes.values())

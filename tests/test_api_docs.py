@@ -1,0 +1,26 @@
+"""The committed API reference must match the code."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+def test_api_reference_is_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from gen_api_docs import generate
+    finally:
+        sys.path.pop(0)
+    committed = (ROOT / "docs" / "api.md").read_text()
+    assert committed == generate(), (
+        "docs/api.md is stale; regenerate with: python tools/gen_api_docs.py"
+    )
+
+
+def test_api_reference_covers_key_entry_points():
+    text = (ROOT / "docs" / "api.md").read_text()
+    for needle in ("construct", "is_topology_transparent",
+                   "average_throughput", "CoverFreeFamily", "Simulator",
+                   "plan_schedule"):
+        assert needle in text

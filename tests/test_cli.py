@@ -1,0 +1,218 @@
+"""The command-line interface, exercised through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import load_schedule
+from repro.core.transparency import is_topology_transparent
+
+
+class TestBuild:
+    def test_build_polynomial(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        rc = main(["build", "-n", "16", "-d", "3", "--alpha-t", "3",
+                   "--alpha-r", "6", "--family", "polynomial",
+                   "-o", str(out)])
+        assert rc == 0
+        sched = load_schedule(out)
+        assert sched.is_alpha_schedule(3, 6)
+        assert is_topology_transparent(sched, 3)
+        assert "family=polynomial" in capsys.readouterr().out
+
+    def test_build_auto_family(self, tmp_path):
+        out = tmp_path / "s.json"
+        assert main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+                     "--alpha-r", "4", "-o", str(out)]) == 0
+        assert load_schedule(out).n == 12
+
+    def test_build_balanced(self, tmp_path):
+        out = tmp_path / "s.json"
+        assert main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+                     "--alpha-r", "4", "--balanced", "-o", str(out)]) == 0
+
+    def test_build_invalid_budget(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        rc = main(["build", "-n", "5", "-d", "2", "--alpha-t", "4",
+                   "--alpha-r", "4", "-o", str(out)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_writes_schedule(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        rc = main(["plan", "-n", "15", "-d", "2", "--max-duty", "0.5",
+                   "-o", str(out)])
+        assert rc == 0
+        sched = load_schedule(out)
+        assert float(sched.average_duty_cycle()) <= 0.5
+        assert "throughput=" in capsys.readouterr().out
+
+    def test_plan_impossible(self, tmp_path, capsys):
+        rc = main(["plan", "-n", "15", "-d", "2", "--max-duty", "0.05",
+                   "-o", str(tmp_path / "p.json")])
+        assert rc == 2
+
+
+class TestVerify:
+    def test_transparent(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+              "--alpha-r", "4", "-o", str(out)])
+        rc = main(["verify", str(out), "-d", "2"])
+        assert rc == 0
+        assert "TRANSPARENT" in capsys.readouterr().out
+
+    def test_not_transparent(self, tmp_path, capsys):
+        from repro.core.schedule import Schedule
+        from repro.core.serialization import save_schedule
+
+        bad = Schedule.non_sleeping(5, [[0, 1], [2], [3]])
+        path = tmp_path / "bad.json"
+        save_schedule(bad, path)
+        rc = main(["verify", str(path), "-d", "2"])
+        assert rc == 1
+        assert "witness" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["verify", "/nonexistent.json", "-d", "2"]) == 2
+
+
+class TestAnalyze:
+    def test_report_fields(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+              "--alpha-r", "4", "-o", str(out)])
+        capsys.readouterr()  # drop the build line
+        assert main(["analyze", str(out), "-d", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n"] == 12
+        assert 0 < report["average_worst_case_throughput"] < 1
+        assert report["minimum_worst_case_throughput"] > 0
+        assert "worst_link_access_delay" not in report
+
+    def test_latency_flag(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "9", "-d", "2", "--alpha-t", "2",
+              "--alpha-r", "4", "--family", "polynomial", "-o", str(out)])
+        capsys.readouterr()  # drop the build line
+        assert main(["analyze", str(out), "-d", "2", "--latency"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["worst_link_access_delay"] > 0
+
+
+class TestSimulate:
+    def build(self, tmp_path):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "16", "-d", "4", "--alpha-t", "3",
+              "--alpha-r", "6", "--family", "polynomial", "-o", str(out)])
+        return out
+
+    def test_saturated_grid(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        capsys.readouterr()  # drop the build line
+        rc = main(["simulate", str(out), "--topology", "grid",
+                   "--nodes", "16", "-d", "4", "--frames", "2"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["min_link_throughput"] >= 1.0  # transparency, observed
+        assert report["mean_latency_slots"] is None  # no queued packets
+
+    def test_sensing_ring(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        capsys.readouterr()  # drop the build line
+        rc = main(["simulate", str(out), "--topology", "ring",
+                   "--nodes", "16", "-d", "4", "--frames", "5",
+                   "--traffic", "sensing", "--period", "100"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["delivery_ratio"] > 0
+
+    def test_unit_disk_poisson(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        capsys.readouterr()
+        rc = main(["simulate", str(out), "--topology", "unit-disk",
+                   "--nodes", "16", "-d", "4", "--frames", "2",
+                   "--traffic", "poisson", "--rate", "0.05", "--seed", "3"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["slots"] > 0
+        assert 0.0 <= report["delivery_ratio"] <= 1.0
+
+    def test_regular_topology(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        capsys.readouterr()
+        rc = main(["simulate", str(out), "--topology", "regular",
+                   "--nodes", "16", "-d", "4", "--frames", "1"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["min_link_throughput"] >= 1.0
+
+    def test_non_square_grid_rejected(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        rc = main(["simulate", str(out), "--topology", "grid",
+                   "--nodes", "15", "-d", "4"])
+        assert rc == 2
+        assert "square" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_markdown_to_stdout(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+              "--alpha-r", "4", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["report", str(out), "-d", "2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "# Schedule certificate" in text
+        assert "TRANSPARENT" in text
+
+    def test_markdown_to_file(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        md = tmp_path / "cert.md"
+        main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+              "--alpha-r", "4", "-o", str(out)])
+        rc = main(["report", str(out), "-d", "2", "-o", str(md)])
+        assert rc == 0
+        assert "Schedule certificate" in md.read_text()
+
+    def test_non_transparent_exit_code(self, tmp_path):
+        from repro.core.schedule import Schedule
+        from repro.core.serialization import save_schedule
+
+        bad = Schedule.non_sleeping(5, [[0, 1], [2], [3]])
+        path = tmp_path / "bad.json"
+        save_schedule(bad, path)
+        assert main(["report", str(path), "-d", "2"]) == 1
+
+
+class TestFamilies:
+    def test_table(self, capsys):
+        assert main(["families", "-n", "20", "-d", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tdma", "polynomial", "steiner", "projective", "mols"):
+            assert name in out
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "thm3_sweep" in out
+        assert "fig1_example" in out
+        assert "random_schedule" not in out
+
+    def test_run_table_experiment(self, capsys):
+        assert main(["experiment", "thm3_sweep"]) == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+    def test_run_tuple_experiment(self, capsys):
+        assert main(["experiment", "fig1_example"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_unknown_name(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
