@@ -11,7 +11,9 @@ import pytest
 
 from repro.core.construction import construct
 from repro.core.nonsleeping import polynomial_schedule
+from repro.core.planner import plan_schedule
 from repro.core.transparency import is_topology_transparent
+from repro.service.store import ScheduleStore
 from repro.simulation.engine import Simulator
 from repro.simulation.topology import grid
 from repro.simulation.traffic import SaturatedTraffic
@@ -46,6 +48,22 @@ def test_sampled_refuter_scale(benchmark, n):
         lambda: is_topology_transparent(sched, 3, method="sampled",
                                         samples=300, rng=rng),
         rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n", [12, 16, 20])
+def test_planner_warm_cache_scale(benchmark, n, tmp_path):
+    """The service layer's promise: a repeated plan is a store lookup.
+
+    Prime a schedule store with one full budget search, then measure the
+    warm path — it must return the identical plan without constructing.
+    """
+    store = ScheduleStore(tmp_path / "cache")
+    cold = plan_schedule(n, 2, max_duty=0.5, cache=store)
+    warm = benchmark(
+        lambda: plan_schedule(n, 2, max_duty=0.5,
+                              cache=ScheduleStore(store.cache_dir)))
+    assert warm == cold
+    assert store.stats.stores > 0
 
 
 @pytest.mark.parametrize("side", [10, 15, 20])

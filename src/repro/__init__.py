@@ -40,6 +40,10 @@ Package layout
 ``repro.analysis``
     Sweep/table utilities and one entry point per paper artefact
     (Figure 1, Theorems 2-9) shared by the benchmark harness and examples.
+``repro.service``
+    Schedule provisioning at scale: a persistent content-addressed
+    schedule store, a parallel grid provisioner, and the batch request
+    API behind ``repro provision``.
 """
 
 from repro.core import (
@@ -93,6 +97,12 @@ from repro.core import (
     interleave_construction,
 )
 from repro.combinatorics import CoverFreeFamily, GF
+from repro.service import (
+    ProvisionRequest,
+    ProvisionResult,
+    ScheduleStore,
+    provision_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -147,5 +157,9 @@ __all__ = [
     "concatenate",
     "rotate",
     "interleave_construction",
+    "ProvisionRequest",
+    "ProvisionResult",
+    "ScheduleStore",
+    "provision_batch",
     "__version__",
 ]

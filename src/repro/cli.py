@@ -7,6 +7,8 @@ writing Python:
 ``build``      build a topology-transparent duty-cycled schedule for
                ``(n, D, alpha_T, alpha_R)`` and write it as JSON
 ``plan``       search families and budgets: ``(n, D, max duty)`` -> JSON
+``provision``  batch planning service: JSONL requests in, JSONL plans
+               out, with a persistent schedule cache and ``--jobs``
 ``verify``     exact topology-transparency decision for a schedule file
 ``analyze``    throughput/duty/latency report for a schedule file
 ``simulate``   run the slot simulator on a generated topology
@@ -54,6 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-duty", type=float, required=True)
     p.add_argument("--balanced", action="store_true")
     p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("provision",
+                       help="batch schedule provisioning (JSONL in/out)")
+    p.add_argument("-i", "--input", default="-",
+                   help="JSONL request file, one {n, d, max_duty[, balanced]} "
+                        "object per line; '-' reads stdin (default)")
+    p.add_argument("-o", "--output", default="-",
+                   help="JSONL result path; '-' writes stdout (default)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool width for grid evaluation (default 1)")
+    p.add_argument("--cache-dir", default=None,
+                   help="schedule-store root (default: "
+                        "$XDG_CACHE_HOME/repro/schedules)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the schedule store entirely")
+    p.add_argument("--no-schedules", action="store_true",
+                   help="omit the flashable slot tables from result lines")
 
     p = sub.add_parser("verify", help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
@@ -156,6 +175,49 @@ def _cmd_plan(args) -> int:
           f"duty={float(plan.duty_cycle):.3f} "
           f"throughput={float(plan.throughput):.5f}")
     return 0
+
+
+def _cmd_provision(args) -> int:
+    from repro.service.api import ProvisionRequest, provision_batch
+    from repro.service.store import ScheduleStore
+
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = open(args.input).read().splitlines()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            requests.append(ProvisionRequest.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, ValueError) as exc:
+            print(f"error: {args.input}:{lineno}: {exc}", file=sys.stderr)
+            return 2
+    store = None if args.no_cache else ScheduleStore(args.cache_dir)
+    results = provision_batch(requests, store=store, jobs=args.jobs)
+    out_lines = [json.dumps(r.to_dict(include_schedule=not args.no_schedules))
+                 for r in results]
+    text = "\n".join(out_lines) + ("\n" if out_lines else "")
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    failed = sum(1 for r in results if r.error is not None)
+    cached = sum(1 for r in results if r.from_cache)
+    summary = (f"provisioned {len(results) - failed}/{len(results)} requests "
+               f"({cached} plan-cache hits, jobs={args.jobs}")
+    if store is not None:
+        summary += (f"; store: {store.stats.hits} hits, "
+                    f"{store.stats.stores} stores, "
+                    f"{store.stats.evictions} evictions")
+    print(summary + ")", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_verify(args) -> int:
@@ -312,6 +374,7 @@ def _cmd_experiment(args) -> int:
 _COMMANDS = {
     "build": _cmd_build,
     "plan": _cmd_plan,
+    "provision": _cmd_provision,
     "verify": _cmd_verify,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,

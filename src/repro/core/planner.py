@@ -13,12 +13,20 @@ families, ``alpha_T`` ranges up to Theorem 4's saturation point (raising
 it further provably cannot help), and for each ``alpha_T`` the largest
 ``alpha_R`` that still satisfies the duty budget is used (Theorem 4: the
 bound is increasing in ``alpha_R``).
+
+The grid machinery is exposed piecewise (:func:`duty_grid`,
+:func:`evaluate_grid_point`, :func:`select_best`) so that
+:mod:`repro.service.provision` can fan the same evaluations out over a
+process pool and merge the results deterministically; a cache honouring
+the :mod:`repro.service.store` protocol can be threaded through
+:func:`plan_schedule` to turn repeated plans into lookups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Iterable
 
 from repro._validation import check_class_params, check_probability
 from repro.core.construction import construct_detailed
@@ -35,7 +43,16 @@ from repro.core.throughput import (
     optimal_transmitters_constrained,
 )
 
-__all__ = ["Plan", "plan_schedule", "candidate_sources"]
+__all__ = [
+    "Plan",
+    "GridPoint",
+    "plan_schedule",
+    "candidate_sources",
+    "duty_budget_fraction",
+    "duty_grid",
+    "evaluate_grid_point",
+    "select_best",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +84,26 @@ class Plan:
     frame_length: int
 
 
+@dataclass(frozen=True)
+class GridPoint:
+    """One candidate evaluation of the planner's substrate × energy grid.
+
+    Attributes
+    ----------
+    family:
+        Name of the substrate family *source* came from.
+    source:
+        The topology-transparent non-sleeping substrate schedule.
+    alpha_t, alpha_r:
+        The energy parameters to construct with.
+    """
+
+    family: str
+    source: Schedule
+    alpha_t: int
+    alpha_r: int
+
+
 def candidate_sources(n: int, d: int) -> list[tuple[str, Schedule]]:
     """Every substrate family constructible for ``(n, D)``."""
     n, d = check_class_params(n, d)
@@ -79,9 +116,103 @@ def candidate_sources(n: int, d: int) -> list[tuple[str, Schedule]]:
     return out
 
 
-def plan_schedule(n: int, d: int, max_duty: float, *,
+def duty_budget_fraction(max_duty: float | str | Fraction) -> Fraction:
+    """Normalize a duty budget to one exact :class:`~fractions.Fraction`.
+
+    Exact types (``Fraction``, ``int``, ``"3/10"``-style strings) pass
+    through unchanged.  Floats are read as the decimal the caller typed —
+    ``0.3`` means three tenths, not the nearest binary double — by
+    snapping to the closest fraction with denominator at most ``10**9``.
+    The conversion happens exactly once, so every downstream comparison
+    (the per-candidate duty test and the ``floor(budget * n)`` awake-slot
+    cap) is exact rational arithmetic.
+    """
+    if isinstance(max_duty, float):
+        max_duty = check_probability(max_duty, "max_duty")
+        return Fraction(max_duty).limit_denominator(10**9)
+    try:
+        budget = Fraction(max_duty)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise ValueError(f"max_duty is not a valid fraction: {max_duty!r}") from exc
+    if not 0 <= budget <= 1:
+        raise ValueError(f"max_duty must lie in [0, 1], got {max_duty!r}")
+    return budget
+
+
+def duty_grid(n: int, d: int, budget: Fraction,
+              sources: list[tuple[str, Schedule]]) -> list[GridPoint]:
+    """Enumerate the planner's candidate grid for an exact duty *budget*.
+
+    For each family, ``alpha_T`` ranges up to Theorem 4's saturation point
+    and ``alpha_R`` is the largest value the budget allows:
+    ``min(floor(budget * n) - alpha_T, n - alpha_T)`` (the duty cycle of a
+    constructed schedule is ``(alpha_T* + alpha_R)/n`` per slot).  The
+    awake-slot cap is computed with exact rational arithmetic — with the
+    former float ``int(max_duty * n)`` a budget of ``0.3`` at ``n = 20``
+    lost one awake slot to binary rounding.  ``(alpha_T, alpha_R)`` pairs
+    already emitted for the same family are skipped, so no grid point is
+    ever constructed (or cached, or farmed to a worker) twice.
+    """
+    n, d = check_class_params(n, d)
+    alpha_cap = optimal_transmitters_constrained(n, d, n - 1)
+    budget_slots = (budget.numerator * n) // budget.denominator
+    points: list[GridPoint] = []
+    seen: dict[str, set[tuple[int, int]]] = {}
+    for name, source in sources:
+        scored = seen.setdefault(name, set())
+        for alpha_t in range(1, alpha_cap + 1):
+            alpha_r = min(budget_slots - alpha_t, n - alpha_t)
+            if alpha_r < 1:
+                continue
+            if (alpha_t, alpha_r) in scored:
+                continue
+            scored.add((alpha_t, alpha_r))
+            points.append(GridPoint(name, source, alpha_t, alpha_r))
+    return points
+
+
+def evaluate_grid_point(point: GridPoint, d: int, *,
+                        balanced: bool = False) -> Plan:
+    """Construct and score one grid point, independent of any duty budget.
+
+    Returns the full :class:`Plan` (schedule, exact Theorem 2 throughput,
+    exact awake fraction).  The result depends only on
+    ``(family, n, D, alpha_T, alpha_R, balanced)`` — never on the budget —
+    which is what makes it a sound unit of caching and of parallel fan-out.
+    """
+    res = construct_detailed(point.source, d, point.alpha_t, point.alpha_r,
+                             balanced=balanced)
+    return Plan(
+        schedule=res.schedule,
+        family=point.family,
+        alpha_t=point.alpha_t,
+        alpha_r=point.alpha_r,
+        throughput=average_throughput(res.schedule, d),
+        duty_cycle=res.schedule.average_duty_cycle(),
+        frame_length=res.schedule.frame_length,
+    )
+
+
+def select_best(candidates: Iterable[Plan]) -> Plan | None:
+    """Deterministic winner of a candidate sequence, or None if empty.
+
+    Maximizes ``(throughput, -frame_length)`` with a *strict* comparison,
+    so ties break toward the earliest candidate in iteration order —
+    evaluating the grid sequentially or in parallel therefore selects the
+    identical plan as long as candidates are presented in grid order.
+    """
+    best: Plan | None = None
+    for plan in candidates:
+        if best is None or (plan.throughput, -plan.frame_length) > \
+                (best.throughput, -best.frame_length):
+            best = plan
+    return best
+
+
+def plan_schedule(n: int, d: int, max_duty: float | str | Fraction, *,
                   balanced: bool = False,
-                  families: list[tuple[str, Schedule]] | None = None) -> Plan:
+                  families: list[tuple[str, Schedule]] | None = None,
+                  cache=None) -> Plan:
     """Best topology-transparent schedule within a duty-cycle budget.
 
     Parameters
@@ -89,12 +220,22 @@ def plan_schedule(n: int, d: int, max_duty: float, *,
     n, d:
         The network class ``N_n^D``.
     max_duty:
-        Maximum allowed average awake fraction in ``(0, 1]``.
+        Maximum allowed average awake fraction in ``(0, 1]``; floats,
+        exact fractions and ``"3/10"``-style strings are accepted (see
+        :func:`duty_budget_fraction`).
     balanced:
         Use the balanced-energy divisions (section 7 variant).
     families:
         Optional pre-built ``(name, source)`` candidates; defaults to
         :func:`candidate_sources`.
+    cache:
+        Optional schedule store honouring the
+        :class:`repro.service.store.ScheduleStore` protocol
+        (``get_eval``/``put_eval``/``get_plan``/``put_plan``).  Grid-point
+        evaluations and the winning plan are memoized through it, so a
+        repeated request performs zero constructions.  Only consulted for
+        the default families — custom substrate lists are not identified
+        by the store's key schema.
 
     Returns the :class:`Plan` maximizing exact average worst-case
     throughput subject to ``duty_cycle <= max_duty``; ties break toward
@@ -103,38 +244,32 @@ def plan_schedule(n: int, d: int, max_duty: float, *,
     receiver per slot, i.e. ``max_duty >= 2/n``).
     """
     n, d = check_class_params(n, d)
-    max_duty = check_probability(max_duty, "max_duty")
+    budget = duty_budget_fraction(max_duty)
+    cacheable = cache is not None and families is None
+    if cacheable:
+        hit = cache.get_plan(n, d, budget, balanced)
+        if hit is not None:
+            return hit
     sources = families if families is not None else candidate_sources(n, d)
-    alpha_cap = optimal_transmitters_constrained(n, d, n - 1)
-    best: Plan | None = None
-    for name, source in sources:
-        for alpha_t in range(1, alpha_cap + 1):
-            # Theorem 4's bound rises with alpha_R, and the duty cycle of a
-            # constructed schedule is (aT* + aR)/n per slot: pick the
-            # largest alpha_R the budget allows.
-            alpha_r = min(int(max_duty * n) - alpha_t, n - alpha_t)
-            if alpha_r < 1:
-                continue
-            res = construct_detailed(source, d, alpha_t, alpha_r,
-                                     balanced=balanced)
-            duty = res.schedule.average_duty_cycle()
-            if duty > Fraction(max_duty).limit_denominator(10**9):
-                continue
-            plan = Plan(
-                schedule=res.schedule,
-                family=name,
-                alpha_t=alpha_t,
-                alpha_r=alpha_r,
-                throughput=average_throughput(res.schedule, d),
-                duty_cycle=duty,
-                frame_length=res.schedule.frame_length,
-            )
-            if best is None or (plan.throughput, -plan.frame_length) > \
-                    (best.throughput, -best.frame_length):
-                best = plan
+    candidates: list[Plan] = []
+    for point in duty_grid(n, d, budget, sources):
+        plan = None
+        if cacheable:
+            plan = cache.get_eval(point.family, n, d, point.alpha_t,
+                                  point.alpha_r, balanced)
+        if plan is None:
+            plan = evaluate_grid_point(point, d, balanced=balanced)
+            if cacheable:
+                cache.put_eval(point.family, n, d, point.alpha_t,
+                               point.alpha_r, balanced, plan)
+        if plan.duty_cycle <= budget:
+            candidates.append(plan)
+    best = select_best(candidates)
     if best is None:
         raise ValueError(
             f"no ({'balanced ' if balanced else ''}alpha_T, alpha_R) choice "
             f"fits duty budget {max_duty} for n={n} (need >= 2/n)"
         )
+    if cacheable:
+        cache.put_plan(n, d, budget, balanced, best)
     return best

@@ -1,0 +1,43 @@
+"""Schedule provisioning service: cache, parallel provisioner, batch API.
+
+The first scaling layer of the reproduction.  Where :mod:`repro.core`
+computes one schedule exactly, this package serves *many* schedule
+requests fast:
+
+``repro.service.store``
+    Content-addressed, versioned on-disk schedule cache with an in-memory
+    LRU front, atomic writes and corruption-tolerant loads.
+``repro.service.provision``
+    Deduplicating fan-out of planner grid evaluations over a process
+    pool, with deterministic (grid-order) result merging.
+``repro.service.api``
+    The batch request surface — :class:`ProvisionRequest`,
+    :class:`ProvisionResult`, :func:`provision_batch` — exposed on the
+    command line as ``repro provision`` (JSONL in/out).
+"""
+
+from repro.service.api import ProvisionRequest, ProvisionResult, provision_batch
+from repro.service.provision import EvalTask, evaluate_tasks, task_from_point
+from repro.service.store import (
+    ScheduleStore,
+    StoreStats,
+    default_cache_dir,
+    eval_key,
+    key_digest,
+    plan_key,
+)
+
+__all__ = [
+    "ProvisionRequest",
+    "ProvisionResult",
+    "provision_batch",
+    "EvalTask",
+    "evaluate_tasks",
+    "task_from_point",
+    "ScheduleStore",
+    "StoreStats",
+    "default_cache_dir",
+    "eval_key",
+    "plan_key",
+    "key_digest",
+]

@@ -1,0 +1,253 @@
+"""Batch schedule-provisioning API: many ``(n, D, duty)`` requests at once.
+
+The deployment story of the paper is "compute a schedule offline, flash it
+to motes"; at fleet scale that becomes a service answering batches of
+per-class requests.  :func:`provision_batch` is that service's core:
+
+1. duplicate requests collapse to one computation;
+2. plan-level cache hits (via a :class:`~repro.service.store.ScheduleStore`)
+   short-circuit entire searches;
+3. the surviving grid points of *all* requests are pooled, deduplicated
+   and evaluated together — inline or across a process pool — so a batch
+   sharing substrates pays for each construction once;
+4. per-request winners are selected in grid order
+   (:func:`repro.core.planner.select_best`), making the parallel path
+   bit-identical to sequential :func:`repro.core.planner.plan_schedule`.
+
+Requests that fail (impossible class parameters, infeasible budgets) are
+reported per-request via :attr:`ProvisionResult.error`; one bad request
+never poisons the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Iterable
+
+from repro._validation import check_class_params, check_int
+from repro.core.planner import (
+    Plan,
+    candidate_sources,
+    duty_budget_fraction,
+    duty_grid,
+    select_best,
+)
+from repro.core.serialization import schedule_to_dict
+from repro.service.provision import evaluate_tasks, task_from_point
+from repro.service.store import ScheduleStore
+
+__all__ = ["ProvisionRequest", "ProvisionResult", "provision_batch"]
+
+
+@dataclass(frozen=True)
+class ProvisionRequest:
+    """One schedule request: a network class plus an energy budget.
+
+    Attributes
+    ----------
+    n, d:
+        The network class ``N_n^D``.
+    max_duty:
+        Duty budget; floats, exact fractions and ``"3/10"``-style strings
+        are accepted (see
+        :func:`repro.core.planner.duty_budget_fraction`).
+    balanced:
+        Use the section 7 balanced-energy divisions.
+    """
+
+    n: int
+    d: int
+    max_duty: float | str | Fraction
+    balanced: bool = False
+
+    def signature(self) -> tuple[int, int, Fraction, bool]:
+        """Exact identity of the request — the deduplication key.
+
+        Raises ``ValueError``/``TypeError`` when the request is invalid;
+        :func:`provision_batch` converts that into a per-request error.
+        """
+        n, d = check_class_params(self.n, self.d)
+        return n, d, duty_budget_fraction(self.max_duty), bool(self.balanced)
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ProvisionRequest":
+        """Parse a JSONL request line (``n``, ``d``, ``max_duty``, opt. ``balanced``)."""
+        if not isinstance(doc, dict):
+            raise ValueError("request must be a JSON object")
+        missing = {"n", "d", "max_duty"} - set(doc)
+        if missing:
+            raise ValueError(f"request missing fields: {sorted(missing)}")
+        unknown = set(doc) - {"n", "d", "max_duty", "balanced"}
+        if unknown:
+            raise ValueError(f"request has unknown fields: {sorted(unknown)}")
+        return cls(n=doc["n"], d=doc["d"], max_duty=doc["max_duty"],
+                   balanced=bool(doc.get("balanced", False)))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable echo of the request."""
+        max_duty = self.max_duty
+        if isinstance(max_duty, Fraction):
+            max_duty = str(max_duty)
+        return {"n": self.n, "d": self.d, "max_duty": max_duty,
+                "balanced": self.balanced}
+
+
+@dataclass(frozen=True)
+class ProvisionResult:
+    """Outcome of one request within a batch.
+
+    Attributes
+    ----------
+    request:
+        The request this result answers.
+    plan:
+        The winning plan, or None when *error* is set.
+    from_cache:
+        True when the whole plan came from a plan-level cache hit
+        (no grid point of this request was evaluated or even looked up).
+    error:
+        Human-readable failure description, or None on success.
+    """
+
+    request: ProvisionRequest
+    plan: Plan | None
+    from_cache: bool = False
+    error: str | None = None
+
+    def to_dict(self, *, include_schedule: bool = True) -> dict[str, Any]:
+        """JSONL result line; with *include_schedule*, embeds the flashable
+        schedule document of :mod:`repro.core.serialization`."""
+        doc: dict[str, Any] = {"request": self.request.to_dict()}
+        if self.error is not None:
+            doc["error"] = self.error
+            return doc
+        assert self.plan is not None
+        doc.update({
+            "family": self.plan.family,
+            "alpha_t": self.plan.alpha_t,
+            "alpha_r": self.plan.alpha_r,
+            "throughput": str(self.plan.throughput),
+            "duty_cycle": str(self.plan.duty_cycle),
+            "frame_length": self.plan.frame_length,
+            "from_cache": self.from_cache,
+        })
+        if include_schedule:
+            doc["schedule"] = schedule_to_dict(self.plan.schedule, meta={
+                "class_n": self.plan.schedule.n, "class_d": self.request.d,
+                "family": self.plan.family, "alpha_t": self.plan.alpha_t,
+                "alpha_r": self.plan.alpha_r,
+                "balanced": self.request.balanced,
+            })
+        return doc
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one distinct request signature being computed."""
+
+    n: int
+    d: int
+    budget: Fraction
+    balanced: bool
+    digests: list[str] = field(default_factory=list)
+    cached: dict[str, Plan] = field(default_factory=dict)
+
+
+def _no_plan_error(n: int, max_duty, balanced: bool) -> str:
+    """The planner's infeasible-budget message, shared verbatim."""
+    return (f"no ({'balanced ' if balanced else ''}alpha_T, alpha_R) choice "
+            f"fits duty budget {max_duty} for n={n} (need >= 2/n)")
+
+
+def provision_batch(requests: Iterable[ProvisionRequest], *,
+                    store: ScheduleStore | None = None,
+                    jobs: int = 1) -> list[ProvisionResult]:
+    """Answer a batch of provisioning requests, cached and in parallel.
+
+    Parameters
+    ----------
+    requests:
+        The batch; results come back in the same order.
+    store:
+        Optional :class:`~repro.service.store.ScheduleStore` (or anything
+        honouring its protocol).  None disables caching entirely.
+    jobs:
+        Process-pool width for grid-point evaluation; ``1`` runs inline.
+        The selected plans are identical for every value of *jobs*.
+    """
+    jobs = check_int(jobs, "jobs", minimum=1)
+    requests = list(requests)
+    signatures: list[tuple | None] = []
+    errors: dict[int, str] = {}
+    for i, request in enumerate(requests):
+        try:
+            signatures.append(request.signature())
+        except (ValueError, TypeError) as exc:
+            signatures.append(None)
+            errors[i] = str(exc)
+
+    # Resolve each distinct signature once.
+    resolved: dict[tuple, tuple[Plan | None, bool]] = {}
+    pending: dict[tuple, _Pending] = {}
+    tasks = []
+    grids: dict[tuple[int, int], list] = {}
+    for sig in signatures:
+        if sig is None or sig in resolved or sig in pending:
+            continue
+        n, d, budget, balanced = sig
+        if store is not None:
+            hit = store.get_plan(n, d, budget, balanced)
+            if hit is not None:
+                resolved[sig] = (hit, True)
+                continue
+        if (n, d) not in grids:
+            grids[(n, d)] = candidate_sources(n, d)
+        work = _Pending(n, d, budget, balanced)
+        for point in duty_grid(n, d, budget, grids[(n, d)]):
+            task = task_from_point(point, n, d, balanced)
+            digest = task.key()
+            work.digests.append(digest)
+            plan = None
+            if store is not None:
+                plan = store.get_eval(point.family, n, d, point.alpha_t,
+                                      point.alpha_r, balanced)
+            if plan is not None:
+                work.cached[digest] = plan
+            else:
+                tasks.append(task)
+        pending[sig] = work
+
+    fresh = evaluate_tasks(tasks, jobs=jobs)
+    if store is not None:
+        for task in tasks:
+            digest = task.key()
+            if digest in fresh:
+                store.put_eval(task.family, task.n, task.d, task.alpha_t,
+                               task.alpha_r, task.balanced, fresh[digest])
+
+    for sig, work in pending.items():
+        candidates = []
+        for digest in work.digests:
+            plan = work.cached.get(digest) or fresh[digest]
+            if plan.duty_cycle <= work.budget:
+                candidates.append(plan)
+        best = select_best(candidates)
+        resolved[sig] = (best, False)
+        if best is not None and store is not None:
+            store.put_plan(work.n, work.d, work.budget, work.balanced, best)
+
+    results: list[ProvisionResult] = []
+    for i, (request, sig) in enumerate(zip(requests, signatures)):
+        if sig is None:
+            results.append(ProvisionResult(request, None, error=errors[i]))
+            continue
+        plan, from_cache = resolved[sig]
+        if plan is None:
+            results.append(ProvisionResult(
+                request, None,
+                error=_no_plan_error(sig[0], request.max_duty, sig[3])))
+        else:
+            results.append(ProvisionResult(request, plan,
+                                           from_cache=from_cache))
+    return results

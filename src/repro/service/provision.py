@@ -1,0 +1,106 @@
+"""Parallel fan-out of planner grid evaluations with deterministic merge.
+
+The planner's substrate × ``(alpha_T, alpha_R)`` grid is embarrassingly
+parallel: every :class:`~repro.core.planner.GridPoint` evaluation is
+independent and budget-free (see
+:func:`repro.core.planner.evaluate_grid_point`).  This module farms
+deduplicated grid points — possibly pooled across a whole batch of
+provisioning requests — over a :class:`concurrent.futures`
+process pool and returns results keyed by the store's key schema, so the
+caller can reassemble per-request candidate lists *in grid order* and
+select winners with :func:`repro.core.planner.select_best`.  Selection
+order, not completion order, decides ties; hence ``jobs=1`` and
+``jobs=N`` provably produce identical plans.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro._validation import check_int
+from repro.core.planner import GridPoint, Plan, evaluate_grid_point
+from repro.core.schedule import Schedule
+from repro.service.store import key_digest, eval_key
+
+__all__ = ["EvalTask", "task_from_point", "evaluate_tasks"]
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One self-contained grid-point evaluation, picklable for workers.
+
+    Attributes
+    ----------
+    family:
+        Substrate family name (part of the cache key).
+    source:
+        The substrate schedule itself, shipped to the worker so it does
+        not rebuild the family from scratch.
+    n, d:
+        The network class the evaluation is quoted for.
+    alpha_t, alpha_r:
+        Energy parameters of the construction.
+    balanced:
+        Use the section 7 balanced-energy divisions.
+    """
+
+    family: str
+    source: Schedule
+    n: int
+    d: int
+    alpha_t: int
+    alpha_r: int
+    balanced: bool
+
+    def key(self) -> str:
+        """The task's store-key digest — its identity for deduplication."""
+        return key_digest(eval_key(self.family, self.n, self.d,
+                                   self.alpha_t, self.alpha_r, self.balanced))
+
+
+def task_from_point(point: GridPoint, n: int, d: int, balanced: bool
+                    ) -> EvalTask:
+    """Package a planner grid point as a pool-shippable task."""
+    return EvalTask(family=point.family, source=point.source, n=n, d=d,
+                    alpha_t=point.alpha_t, alpha_r=point.alpha_r,
+                    balanced=balanced)
+
+
+def _evaluate_task(task: EvalTask) -> tuple[str, Plan]:
+    """Worker entry point: evaluate one task, return ``(digest, plan)``.
+
+    Module-level so the process pool can pickle it by reference.
+    """
+    point = GridPoint(task.family, task.source, task.alpha_t, task.alpha_r)
+    plan = evaluate_grid_point(point, task.d, balanced=task.balanced)
+    return task.key(), plan
+
+
+def evaluate_tasks(tasks: list[EvalTask], *, jobs: int = 1
+                   ) -> dict[str, Plan]:
+    """Evaluate every task, inline or over a process pool.
+
+    Returns a dict from store-key digest to :class:`Plan`.  Duplicate
+    digests in *tasks* are evaluated once.  With ``jobs == 1`` everything
+    runs in-process (no pool, no pickling); with ``jobs > 1`` tasks are
+    distributed over ``min(jobs, len(tasks))`` workers.  Because results
+    come back *keyed*, scheduling order cannot influence which plan a
+    request ultimately selects — merging is deterministic by design.
+    """
+    jobs = check_int(jobs, "jobs", minimum=1)
+    distinct: dict[str, EvalTask] = {}
+    for task in tasks:
+        distinct.setdefault(task.key(), task)
+    if not distinct:
+        return {}
+    todo = list(distinct.values())
+    if jobs == 1 or len(todo) == 1:
+        return {task.key(): evaluate_grid_point(
+            GridPoint(task.family, task.source, task.alpha_t, task.alpha_r),
+            task.d, balanced=task.balanced) for task in todo}
+    results: dict[str, Plan] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+        for digest, plan in pool.map(_evaluate_task, todo):
+            results[digest] = plan
+    return results

@@ -1,0 +1,288 @@
+"""Content-addressed, versioned on-disk store for schedules and plans.
+
+Deployments compute a schedule once and flash it to motes; a provisioning
+service answering many ``(n, D, duty)`` requests should therefore compute
+each schedule once, ever.  :class:`ScheduleStore` memoizes the planner's
+work at two granularities:
+
+* **eval entries** — one constructed grid point, keyed by
+  ``(family, n, D, alpha_T, alpha_R, balanced, FORMAT_VERSION)``.  These
+  are budget-independent, so different duty budgets share them.
+* **plan entries** — the winning :class:`~repro.core.planner.Plan` of a
+  full budget search, keyed by ``(n, D, max_duty, balanced,
+  FORMAT_VERSION)``.
+
+Keys are canonical JSON documents hashed with SHA-256 (content
+addressing: the digest is the filename, so the key space shards evenly
+and is safe to distribute later).  Payloads reuse the versioned
+interchange format of :mod:`repro.core.serialization` — a cache entry is
+a superset of a flashable schedule file.  Durability rules:
+
+* writes are atomic (`tmp` file + ``os.replace``) so a crashed process
+  never leaves a half-written entry;
+* loads are corruption-tolerant: any unreadable, unparsable, key-mismatched
+  or semantically invalid entry is *evicted* (unlinked) and reported as a
+  miss, never raised — the worst case is recomputation;
+* bumping :data:`repro.core.serialization.FORMAT_VERSION` invalidates
+  every entry implicitly, because the version participates in the key.
+
+A small in-memory LRU sits in front of the disk so hot keys skip JSON
+parsing entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro._validation import check_int
+from repro.core.planner import Plan
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = ["ScheduleStore", "StoreStats", "eval_key", "plan_key",
+           "key_digest", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """The conventional per-user cache location (XDG aware)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro" / "schedules"
+
+
+def eval_key(family: str, n: int, d: int, alpha_t: int, alpha_r: int,
+             balanced: bool) -> dict[str, Any]:
+    """Canonical key document for one constructed grid point."""
+    return {
+        "kind": "eval",
+        "family": str(family),
+        "n": check_int(n, "n", minimum=1),
+        "d": check_int(d, "d", minimum=1),
+        "alpha_t": check_int(alpha_t, "alpha_t", minimum=1),
+        "alpha_r": check_int(alpha_r, "alpha_r", minimum=1),
+        "balanced": bool(balanced),
+        "version": FORMAT_VERSION,
+    }
+
+
+def plan_key(n: int, d: int, budget: Fraction, balanced: bool) -> dict[str, Any]:
+    """Canonical key document for a full budget-search result."""
+    return {
+        "kind": "plan",
+        "n": check_int(n, "n", minimum=1),
+        "d": check_int(d, "d", minimum=1),
+        "max_duty": str(Fraction(budget)),
+        "balanced": bool(balanced),
+        "version": FORMAT_VERSION,
+    }
+
+
+def key_digest(key: dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of a key document.
+
+    Canonical means sorted keys and no whitespace, so the digest is
+    stable across processes, machines and Python versions — the property
+    the cross-process key-stability test pins down.
+    """
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters describing how a :class:`ScheduleStore` has been used.
+
+    Attributes
+    ----------
+    memory_hits, disk_hits:
+        Lookups served by the LRU front and by on-disk entries.
+    misses:
+        Lookups that found nothing (the caller will recompute).
+    stores:
+        Entries written.
+    evictions:
+        Corrupt or invalid entries removed during a failed load.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served from either layer."""
+        return self.memory_hits + self.disk_hits
+
+
+class ScheduleStore:
+    """Persistent schedule cache with an in-memory LRU front.
+
+    Implements the cache protocol :func:`repro.core.planner.plan_schedule`
+    and :func:`repro.service.api.provision_batch` consume:
+    ``get_eval``/``put_eval`` for grid-point evaluations and
+    ``get_plan``/``put_plan`` for winning plans.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, *,
+                 memory_slots: int = 256) -> None:
+        """Create a store rooted at *cache_dir* (default: XDG cache).
+
+        *memory_slots* bounds the LRU front; 0 disables it (every hit
+        reparses from disk — useful only for tests).
+        """
+        self.cache_dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        self.memory_slots = check_int(memory_slots, "memory_slots", minimum=0)
+        self._memory: OrderedDict[str, Plan] = OrderedDict()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # the cache protocol
+    # ------------------------------------------------------------------
+    def get_eval(self, family: str, n: int, d: int, alpha_t: int,
+                 alpha_r: int, balanced: bool) -> Plan | None:
+        """Cached evaluation of one grid point, or None."""
+        return self._get(eval_key(family, n, d, alpha_t, alpha_r, balanced))
+
+    def put_eval(self, family: str, n: int, d: int, alpha_t: int,
+                 alpha_r: int, balanced: bool, plan: Plan) -> None:
+        """Persist the evaluation of one grid point."""
+        self._put(eval_key(family, n, d, alpha_t, alpha_r, balanced), plan)
+
+    def get_plan(self, n: int, d: int, budget: Fraction, balanced: bool
+                 ) -> Plan | None:
+        """Cached winner of a full budget search, or None."""
+        return self._get(plan_key(n, d, budget, balanced))
+
+    def put_plan(self, n: int, d: int, budget: Fraction, balanced: bool,
+                 plan: Plan) -> None:
+        """Persist the winner of a full budget search."""
+        self._put(plan_key(n, d, budget, balanced), plan)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry (disk and memory); returns entries removed."""
+        self._memory.clear()
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def entry_path(self, key: dict[str, Any]) -> Path:
+        """The on-disk location a key document maps to (exists or not)."""
+        digest = key_digest(key)
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _get(self, key: dict[str, Any]) -> Plan | None:
+        digest = key_digest(key)
+        if digest in self._memory:
+            self._memory.move_to_end(digest)
+            self.stats.memory_hits += 1
+            return self._memory[digest]
+        path = self.cache_dir / digest[:2] / f"{digest}.json"
+        try:
+            doc = json.loads(path.read_text())
+            plan = self._decode(doc, key)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # A bad cache entry is evicted and recomputed, never fatal.
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+            return None
+        self.stats.disk_hits += 1
+        self._remember(digest, plan)
+        return plan
+
+    def _put(self, key: dict[str, Any], plan: Plan) -> None:
+        digest = key_digest(key)
+        path = self.cache_dir / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = self._encode(key, plan)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        self._remember(digest, plan)
+
+    def _remember(self, digest: str, plan: Plan) -> None:
+        if self.memory_slots == 0:
+            return
+        self._memory[digest] = plan
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_slots:
+            self._memory.popitem(last=False)
+
+    @staticmethod
+    def _encode(key: dict[str, Any], plan: Plan) -> dict[str, Any]:
+        return {
+            "format": "repro-cache-entry",
+            "version": FORMAT_VERSION,
+            "key": key,
+            "plan": {
+                "family": plan.family,
+                "alpha_t": plan.alpha_t,
+                "alpha_r": plan.alpha_r,
+                "throughput": str(plan.throughput),
+                "duty_cycle": str(plan.duty_cycle),
+                "frame_length": plan.frame_length,
+                "schedule": schedule_to_dict(plan.schedule),
+            },
+        }
+
+    @staticmethod
+    def _decode(doc: dict[str, Any], key: dict[str, Any]) -> Plan:
+        if doc.get("format") != "repro-cache-entry":
+            raise ValueError("not a repro-cache-entry document")
+        if doc.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported cache version {doc.get('version')!r}")
+        if doc.get("key") != key:
+            raise ValueError("cache entry key mismatch (hash collision or "
+                             "corruption)")
+        body = doc["plan"]
+        schedule = schedule_from_dict(body["schedule"])
+        frame_length = check_int(body["frame_length"], "frame_length", minimum=1)
+        if frame_length != schedule.frame_length:
+            raise ValueError("cache entry frame_length disagrees with payload")
+        return Plan(
+            schedule=schedule,
+            family=str(body["family"]),
+            alpha_t=check_int(body["alpha_t"], "alpha_t", minimum=1),
+            alpha_r=check_int(body["alpha_r"], "alpha_r", minimum=1),
+            throughput=Fraction(body["throughput"]),
+            duty_cycle=Fraction(body["duty_cycle"]),
+            frame_length=frame_length,
+        )

@@ -4,7 +4,15 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core.planner import Plan, candidate_sources, plan_schedule
+from repro.core.nonsleeping import tdma_schedule
+from repro.core.planner import (
+    Plan,
+    candidate_sources,
+    duty_budget_fraction,
+    duty_grid,
+    plan_schedule,
+    select_best,
+)
 from repro.core.throughput import average_throughput, constrained_upper_bound
 from repro.core.transparency import is_topology_transparent
 
@@ -65,3 +73,81 @@ class TestPlan:
         assert isinstance(plan, Plan)
         with pytest.raises(AttributeError):
             plan.alpha_t = 99  # type: ignore[misc]
+
+
+class TestExactBudget:
+    def test_float_budget_read_as_decimal(self):
+        # A float 0.3 means the decimal the user typed, not the binary
+        # double 0.2999...88.
+        assert duty_budget_fraction(0.3) == Fraction(3, 10)
+
+    def test_exact_budget_types_pass_through(self):
+        assert duty_budget_fraction("3/10") == Fraction(3, 10)
+        assert duty_budget_fraction(Fraction(1, 3)) == Fraction(1, 3)
+        assert duty_budget_fraction(1) == Fraction(1)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError, match="not a valid fraction"):
+            duty_budget_fraction("3/0")
+        with pytest.raises(ValueError, match="not a valid fraction"):
+            duty_budget_fraction("garbage")
+        with pytest.raises(ValueError, match="lie in"):
+            duty_budget_fraction(Fraction(3, 2))
+        with pytest.raises(ValueError):
+            duty_budget_fraction(1.5)
+
+    def test_boundary_budget_0_3_accepts_exact_duty(self):
+        # Regression: the budget is converted to an exact Fraction once;
+        # a candidate sitting exactly on the boundary must be admitted.
+        plan = plan_schedule(20, 2, max_duty=0.3)
+        assert plan.duty_cycle == Fraction(3, 10)
+        assert plan == plan_schedule(20, 2, Fraction(3, 10))
+        assert plan == plan_schedule(20, 2, "3/10")
+
+    def test_awake_slot_cap_is_exact(self):
+        # Regression: int(0.58 * 50) == 28 loses one awake slot to binary
+        # rounding; the exact floor of (29/50) * 50 is 29.
+        assert int(0.58 * 50) == 28
+        points = duty_grid(50, 2, duty_budget_fraction(0.58),
+                           [("tdma", tdma_schedule(50))])
+        assert max(p.alpha_t + p.alpha_r for p in points) == 29
+
+
+class TestGrid:
+    def test_no_duplicate_pairs_per_family(self):
+        points = duty_grid(12, 2, Fraction(1, 2), candidate_sources(12, 2))
+        keys = [(p.family, p.alpha_t, p.alpha_r) for p in points]
+        assert len(keys) == len(set(keys))
+
+    def test_repeated_family_entries_deduplicate(self):
+        source = tdma_schedule(12)
+        doubled = duty_grid(12, 2, Fraction(1, 2),
+                            [("tdma", source), ("tdma", source)])
+        single = duty_grid(12, 2, Fraction(1, 2), [("tdma", source)])
+        assert len(doubled) == len(single)
+
+    def test_infeasible_budget_empty_grid(self):
+        points = duty_grid(15, 2, Fraction(1, 20),
+                           [("tdma", tdma_schedule(15))])
+        assert points == []
+
+    def test_select_best_prefers_earlier_on_exact_tie(self):
+        plan = plan_schedule(12, 2, max_duty=0.5)
+        tie = Plan(schedule=plan.schedule, family="copy",
+                   alpha_t=plan.alpha_t, alpha_r=plan.alpha_r,
+                   throughput=plan.throughput, duty_cycle=plan.duty_cycle,
+                   frame_length=plan.frame_length)
+        assert select_best([plan, tie]) is plan
+        assert select_best([tie, plan]) is tie
+        assert select_best([]) is None
+
+
+class TestPlannerCache:
+    def test_warm_call_returns_identical_plan(self, tmp_path):
+        from repro.service.store import ScheduleStore
+
+        store = ScheduleStore(tmp_path / "cache")
+        cold = plan_schedule(12, 2, max_duty=0.5, cache=store)
+        warm = plan_schedule(12, 2, max_duty=0.5, cache=store)
+        assert warm == cold
+        assert store.stats.hits >= 1

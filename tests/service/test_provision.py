@@ -1,0 +1,140 @@
+"""The batch provisioning API and its parallel/sequential parity."""
+
+from fractions import Fraction
+
+import pytest
+
+import repro.core.planner as planner_mod
+from repro.core.planner import plan_schedule
+from repro.core.transparency import is_topology_transparent
+from repro.service.api import ProvisionRequest, ProvisionResult, provision_batch
+from repro.service.store import ScheduleStore
+
+
+@pytest.fixture
+def store(tmp_path) -> ScheduleStore:
+    """A store rooted in a fresh temporary directory."""
+    return ScheduleStore(tmp_path / "cache")
+
+
+def _count_constructions(monkeypatch):
+    """Route planner constructions through a counter; returns the list."""
+    calls = []
+    real = planner_mod.construct_detailed
+    monkeypatch.setattr(
+        planner_mod, "construct_detailed",
+        lambda *a, **kw: calls.append(a) or real(*a, **kw))
+    return calls
+
+
+class TestRequests:
+    def test_from_dict_round_trip(self):
+        req = ProvisionRequest.from_dict(
+            {"n": 15, "d": 2, "max_duty": "2/5", "balanced": True})
+        assert req == ProvisionRequest(15, 2, "2/5", balanced=True)
+        assert req.to_dict() == {"n": 15, "d": 2, "max_duty": "2/5",
+                                 "balanced": True}
+
+    def test_from_dict_rejects_missing_and_unknown_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            ProvisionRequest.from_dict({"n": 15, "d": 2})
+        with pytest.raises(ValueError, match="unknown"):
+            ProvisionRequest.from_dict(
+                {"n": 15, "d": 2, "max_duty": 0.4, "alpha": 1})
+
+    def test_signature_is_exact(self):
+        float_sig = ProvisionRequest(15, 2, 0.4).signature()
+        exact_sig = ProvisionRequest(15, 2, Fraction(2, 5)).signature()
+        assert float_sig == exact_sig == (15, 2, Fraction(2, 5), False)
+
+
+class TestBatch:
+    def test_matches_sequential_planner(self):
+        requests = [ProvisionRequest(15, 2, 0.4),
+                    ProvisionRequest(12, 2, "1/2"),
+                    ProvisionRequest(12, 2, 0.5, balanced=True)]
+        results = provision_batch(requests)
+        for req, res in zip(requests, results):
+            assert res.error is None
+            assert res.plan == plan_schedule(req.n, req.d, req.max_duty,
+                                             balanced=req.balanced)
+            assert is_topology_transparent(res.plan.schedule, req.d)
+
+    def test_jobs_1_and_jobs_4_identical(self):
+        requests = [ProvisionRequest(15, 2, 0.4),
+                    ProvisionRequest(12, 2, 0.5)]
+        sequential = provision_batch(requests, jobs=1)
+        parallel = provision_batch(requests, jobs=4)
+        assert [r.plan for r in sequential] == [r.plan for r in parallel]
+
+    def test_duplicate_requests_computed_once(self, monkeypatch):
+        calls = _count_constructions(monkeypatch)
+        once = provision_batch([ProvisionRequest(12, 2, 0.5)])
+        single_cost = len(calls)
+        calls.clear()
+        twice = provision_batch([ProvisionRequest(12, 2, 0.5),
+                                 ProvisionRequest(12, 2, Fraction(1, 2))])
+        assert len(calls) == single_cost  # float and exact dedupe together
+        assert twice[0].plan == twice[1].plan == once[0].plan
+
+    def test_error_isolated_per_request(self):
+        results = provision_batch([ProvisionRequest(15, 2, 0.05),
+                                   ProvisionRequest(15, 2, 0.4),
+                                   ProvisionRequest(15, 99, 0.4)])
+        assert "duty budget" in results[0].error
+        assert results[1].error is None and results[1].plan is not None
+        assert "D must be" in results[2].error
+        assert results[0].plan is None and results[2].plan is None
+
+    def test_result_to_dict_shapes(self):
+        ok, bad = provision_batch([ProvisionRequest(12, 2, 0.5),
+                                   ProvisionRequest(12, 2, 0.05)])
+        doc = ok.to_dict()
+        assert doc["family"] == ok.plan.family
+        assert doc["schedule"]["format"] == "repro-schedule"
+        assert "schedule" not in ok.to_dict(include_schedule=False)
+        assert set(bad.to_dict()) == {"request", "error"}
+
+
+class TestCaching:
+    def test_second_batch_zero_constructions(self, store, monkeypatch):
+        requests = [ProvisionRequest(15, 2, 0.4),
+                    ProvisionRequest(12, 2, 0.5)]
+        cold = provision_batch(requests, store=store, jobs=1)
+        assert all(not r.from_cache for r in cold)
+        calls = _count_constructions(monkeypatch)
+        warm = provision_batch(requests,
+                               store=ScheduleStore(store.cache_dir), jobs=1)
+        assert calls == []
+        assert all(r.from_cache for r in warm)
+        assert [r.plan for r in warm] == [r.plan for r in cold]
+
+    def test_cold_parallel_equals_cold_sequential_through_cache(
+            self, tmp_path):
+        requests = [ProvisionRequest(15, 2, 0.4), ProvisionRequest(12, 2, 0.5)]
+        seq = provision_batch(requests,
+                              store=ScheduleStore(tmp_path / "a"), jobs=1)
+        par = provision_batch(requests,
+                              store=ScheduleStore(tmp_path / "b"), jobs=4)
+        assert [r.plan for r in seq] == [r.plan for r in par]
+
+    def test_eval_entries_shared_between_requests(self, store, monkeypatch):
+        """Two budgets over one class share their common grid points."""
+        provision_batch([ProvisionRequest(12, 2, 0.5)], store=store)
+        calls = _count_constructions(monkeypatch)
+        provision_batch([ProvisionRequest(12, 2, 0.4)],
+                        store=ScheduleStore(store.cache_dir))
+        full_grid_cost = store.stats.stores - 1  # minus the plan entry
+        assert 0 < len(calls) < full_grid_cost
+
+    def test_no_store_means_no_disk(self, tmp_path):
+        provision_batch([ProvisionRequest(12, 2, 0.5)], store=None)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestResultDataclass:
+    def test_frozen(self):
+        result = provision_batch([ProvisionRequest(12, 2, 0.5)])[0]
+        assert isinstance(result, ProvisionResult)
+        with pytest.raises(AttributeError):
+            result.from_cache = True  # type: ignore[misc]

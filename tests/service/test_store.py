@@ -1,0 +1,192 @@
+"""The persistent schedule store: keys, round trips, corruption handling."""
+
+import json
+import os
+import subprocess
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.nonsleeping import mols_schedule
+from repro.core.planner import GridPoint, evaluate_grid_point, plan_schedule
+from repro.service.store import (
+    ScheduleStore,
+    default_cache_dir,
+    eval_key,
+    key_digest,
+    plan_key,
+)
+
+
+@pytest.fixture
+def store(tmp_path) -> ScheduleStore:
+    """A store rooted in a fresh temporary directory."""
+    return ScheduleStore(tmp_path / "cache")
+
+
+def _some_plan(n=12, d=2, alpha_t=2, alpha_r=4):
+    point = GridPoint("mols", mols_schedule(n, d), alpha_t, alpha_r)
+    return evaluate_grid_point(point, d)
+
+
+class TestKeys:
+    def test_digest_is_canonical(self):
+        a = eval_key("mols", 12, 2, 2, 4, False)
+        b = dict(reversed(list(a.items())))  # same mapping, other order
+        assert key_digest(a) == key_digest(b)
+
+    def test_distinct_keys_distinct_digests(self):
+        base = key_digest(eval_key("mols", 12, 2, 2, 4, False))
+        assert key_digest(eval_key("mols", 12, 2, 2, 4, True)) != base
+        assert key_digest(eval_key("tdma", 12, 2, 2, 4, False)) != base
+        assert key_digest(plan_key(12, 2, Fraction(1, 2), False)) != base
+
+    def test_key_stable_across_processes(self):
+        """The digest must not depend on process state (hash seeds etc.)."""
+        code = ("from repro.service.store import eval_key, key_digest; "
+                "print(key_digest(eval_key('mols', 12, 2, 2, 4, False)))")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}:{env.get('PYTHONPATH', '')}"
+        env["PYTHONHASHSEED"] = "random"
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == \
+            key_digest(eval_key("mols", 12, 2, 2, 4, False))
+
+    def test_default_cache_dir_honours_xdg(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro" / "schedules"
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        assert store.get_eval("mols", 12, 2, 2, 4, False) is None
+        assert store.stats.misses == 1
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        got = store.get_eval(plan.family, 12, 2, 2, 4, False)
+        assert got == plan
+        assert store.stats.memory_hits == 1
+
+    def test_round_trip_exact_fractions(self, store):
+        plan = _some_plan()
+        store.put_plan(12, 2, Fraction(1, 2), False, plan)
+        fresh = ScheduleStore(store.cache_dir)  # cold memory, disk only
+        got = fresh.get_plan(12, 2, Fraction(1, 2), False)
+        assert got is not None
+        assert got.throughput == plan.throughput
+        assert got.duty_cycle == plan.duty_cycle
+        assert got.schedule == plan.schedule
+        assert fresh.stats.disk_hits == 1
+
+    def test_entries_are_sharded_by_digest_prefix(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        path = store.entry_path(eval_key(plan.family, 12, 2, 2, 4, False))
+        assert path.is_file()
+        assert path.parent.name == path.stem[:2]
+
+    def test_len_and_clear(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.put_plan(12, 2, Fraction(1, 2), False, plan)
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get_eval(plan.family, 12, 2, 2, 4, False) is None
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_evicted_not_fatal(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        fresh = ScheduleStore(store.cache_dir)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) is None
+        assert fresh.stats.evictions == 1
+        assert not store.entry_path(key).exists()
+        # The slot is reusable after eviction.
+        fresh.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) == plan
+
+    def test_key_mismatch_is_evicted(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        other = eval_key("tdma", 12, 2, 2, 4, False)
+        store.put_eval("tdma", 12, 2, 2, 4, False, plan)
+        # Copy the tdma entry into the slot the mols key hashes to.
+        path = store.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(store.entry_path(other).read_text())
+        fresh = ScheduleStore(store.cache_dir)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) is None
+        assert fresh.stats.evictions == 1
+
+    def test_semantically_invalid_payload_is_evicted(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        doc = json.loads(store.entry_path(key).read_text())
+        doc["plan"]["frame_length"] = 999  # disagrees with the slot tables
+        store.entry_path(key).write_text(json.dumps(doc))
+        fresh = ScheduleStore(store.cache_dir)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) is None
+        assert fresh.stats.evictions == 1
+
+
+class TestMemoryFront:
+    def test_lru_is_bounded(self, tmp_path):
+        store = ScheduleStore(tmp_path / "cache", memory_slots=2)
+        plan = _some_plan()
+        for alpha_r in (3, 4, 5):
+            store.put_eval(plan.family, 12, 2, 2, alpha_r, False, plan)
+        assert len(store._memory) == 2
+        assert len(store) == 3  # disk keeps everything
+
+    def test_disk_hit_promotes_to_memory(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        fresh = ScheduleStore(store.cache_dir)
+        fresh.get_eval(plan.family, 12, 2, 2, 4, False)
+        fresh.get_eval(plan.family, 12, 2, 2, 4, False)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.memory_hits == 1
+
+
+class TestPlannerIntegration:
+    def test_warm_plan_schedule_does_zero_constructions(
+            self, store, monkeypatch):
+        cold = plan_schedule(12, 2, max_duty=0.5, cache=store)
+        calls = []
+        import repro.core.planner as planner_mod
+        real = planner_mod.construct_detailed
+        monkeypatch.setattr(planner_mod, "construct_detailed",
+                            lambda *a, **kw: calls.append(a) or real(*a, **kw))
+        warm = plan_schedule(12, 2, max_duty=0.5, cache=store)
+        assert calls == []
+        assert warm == cold
+
+    def test_eval_entries_shared_across_budgets(self, store, monkeypatch):
+        """A new budget reuses every grid point it shares with an old one."""
+        plan_schedule(12, 2, max_duty=0.5, cache=store)
+        stores_before = store.stats.stores
+        import repro.core.planner as planner_mod
+        real = planner_mod.construct_detailed
+        calls = []
+        monkeypatch.setattr(planner_mod, "construct_detailed",
+                            lambda *a, **kw: calls.append(a) or real(*a, **kw))
+        plan_schedule(12, 2, max_duty=0.4, cache=store)
+        # The 0.4 grid is a subset of the 0.5 grid points with smaller
+        # alpha_R caps; only genuinely new (alpha_T, alpha_R) pairs build.
+        assert len(calls) < stores_before
+
+    def test_custom_families_bypass_cache(self, store):
+        from repro.core.nonsleeping import tdma_schedule
+
+        plan_schedule(10, 2, max_duty=0.6,
+                      families=[("tdma", tdma_schedule(10))], cache=store)
+        assert len(store) == 0

@@ -216,3 +216,101 @@ class TestExperiment:
     def test_unknown_name(self, capsys):
         assert main(["experiment", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProvision:
+    @staticmethod
+    def write_requests(tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_batch_to_file(self, tmp_path, capsys):
+        from repro.core.serialization import schedule_from_dict
+
+        inp = self.write_requests(tmp_path, [
+            '{"n": 15, "d": 2, "max_duty": 0.4}',
+            '{"n": 12, "d": 2, "max_duty": "1/2"}',
+            '',  # blank lines are skipped
+        ])
+        out = tmp_path / "plans.jsonl"
+        rc = main(["provision", "-i", str(inp), "-o", str(out),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        assert "provisioned 2/2" in capsys.readouterr().err
+        docs = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(docs) == 2
+        for doc in docs:
+            assert not doc["from_cache"]
+            sched = schedule_from_dict(doc["schedule"])
+            assert str(sched.average_duty_cycle()) == doc["duty_cycle"]
+
+    def test_second_run_hits_plan_cache(self, tmp_path, capsys):
+        inp = self.write_requests(
+            tmp_path, ['{"n": 12, "d": 2, "max_duty": 0.5}'])
+        out = tmp_path / "plans.jsonl"
+        argv = ["provision", "-i", str(inp), "-o", str(out),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        doc = json.loads(out.read_text())
+        assert doc["from_cache"]
+        assert "1 plan-cache hits" in capsys.readouterr().err
+
+    def test_no_cache_leaves_no_store(self, tmp_path, capsys):
+        inp = self.write_requests(
+            tmp_path, ['{"n": 12, "d": 2, "max_duty": 0.5}'])
+        cache = tmp_path / "cache"
+        rc = main(["provision", "-i", str(inp), "-o",
+                   str(tmp_path / "plans.jsonl"), "--cache-dir", str(cache),
+                   "--no-cache"])
+        assert rc == 0
+        assert not cache.exists()
+
+    def test_stdout_output_and_no_schedules(self, tmp_path, capsys):
+        inp = self.write_requests(
+            tmp_path, ['{"n": 12, "d": 2, "max_duty": 0.5}'])
+        rc = main(["provision", "-i", str(inp), "--no-cache",
+                   "--no-schedules"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["family"]
+        assert "schedule" not in doc
+
+    def test_jobs_parallel_matches_sequential(self, tmp_path):
+        inp = self.write_requests(tmp_path, [
+            '{"n": 15, "d": 2, "max_duty": 0.4}',
+            '{"n": 12, "d": 2, "max_duty": 0.5}',
+        ])
+        seq, par = tmp_path / "seq.jsonl", tmp_path / "par.jsonl"
+        assert main(["provision", "-i", str(inp), "-o", str(seq),
+                     "--no-cache", "--jobs", "1"]) == 0
+        assert main(["provision", "-i", str(inp), "-o", str(par),
+                     "--no-cache", "--jobs", "4"]) == 0
+        assert seq.read_text() == par.read_text()
+
+    def test_bad_json_line_is_reported(self, tmp_path, capsys):
+        inp = self.write_requests(tmp_path, ['{"n": 12,'])
+        rc = main(["provision", "-i", str(inp), "--no-cache"])
+        assert rc == 2
+        assert ":1:" in capsys.readouterr().err
+
+    def test_infeasible_request_sets_error_and_exit_code(
+            self, tmp_path, capsys):
+        inp = self.write_requests(tmp_path, [
+            '{"n": 15, "d": 2, "max_duty": 0.05}',
+            '{"n": 12, "d": 2, "max_duty": 0.5}',
+        ])
+        rc = main(["provision", "-i", str(inp), "--no-cache"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        docs = [json.loads(line) for line in captured.out.splitlines()]
+        assert "duty budget" in docs[0]["error"]
+        assert docs[1]["family"]
+        assert "provisioned 1/2" in captured.err
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        rc = main(["provision", "-i", str(tmp_path / "nope.jsonl"),
+                   "--no-cache"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
