@@ -1,0 +1,123 @@
+"""F-faults — behaviour and cost of deterministic fault injection.
+
+Two contracts ride on this sweep:
+
+* **graceful degradation** — as injected node-crash and link-loss rates
+  climb, a topology-transparent schedule loses throughput *smoothly*
+  (section 6's robustness story: the schedule itself never has to be
+  recomputed, dead neighbours simply stop being heard);
+* **near-zero overhead when off** — the fault-tolerant runtime
+  (:mod:`repro.service.runtime`) replaces the old ``pool.map`` fan-out,
+  and a healthy batch must not pay meaningfully for the machinery
+  (target < 5% on the inline path; asserted loosely here because CI
+  boxes are noisy).
+"""
+
+import time
+
+from repro.analysis.tables import Table
+from repro.core.construction import construct
+from repro.core.nonsleeping import polynomial_schedule
+from repro.core.planner import (
+    candidate_sources,
+    duty_budget_fraction,
+    duty_grid,
+)
+from repro.faults import FaultPlan
+from repro.service.provision import task_from_point
+from repro.service.runtime import RuntimeConfig, _evaluate, execute_tasks
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import grid
+from repro.simulation.traffic import SaturatedTraffic
+
+#: (node_crash_rate, node_recover_rate, link_loss) — escalating adversity.
+FAULT_LEVELS = [
+    (0.0, 0.0, 0.0),
+    (0.0, 0.0, 0.1),
+    (0.005, 0.1, 0.1),
+    (0.01, 0.1, 0.3),
+    (0.02, 0.05, 0.5),
+]
+
+
+def _run_level(topo, sched, crash, recover, loss, frames=2):
+    plan = FaultPlan(seed=9, node_crash_rate=crash, node_recover_rate=recover,
+                     link_loss=loss)
+    sim = Simulator(topo, sched, SaturatedTraffic(topo),
+                    faults=plan if plan.simulation_active else None)
+    start = time.perf_counter()
+    metrics = sim.run(frames=frames)
+    elapsed = time.perf_counter() - start
+    return metrics, elapsed
+
+
+def test_simulation_degrades_gracefully(benchmark, report):
+    topo = grid(4, 4)
+    sched = construct(polynomial_schedule(16, 4), 4, 3, 6)
+
+    table = Table("crash", "recover", "loss", "successes", "link_losses",
+                  "down_frac", "slots_per_sec",
+                  title="Saturated grid(4,4) under escalating injected faults")
+    rows = []
+    for crash, recover, loss in FAULT_LEVELS:
+        metrics, elapsed = _run_level(topo, sched, crash, recover, loss)
+        successes = sum(metrics.successes.values())
+        rows.append((crash, loss, successes))
+        table.row(crash=crash, recover=recover, loss=loss,
+                  successes=successes, link_losses=metrics.link_losses,
+                  down_frac=round(metrics.node_down_fraction(topo.n), 4),
+                  slots_per_sec=int(metrics.slots / elapsed))
+    report(table, "fault_injection_simulation")
+
+    # Time the heaviest level under pytest-benchmark for trend tracking.
+    worst = FAULT_LEVELS[-1]
+    benchmark.pedantic(lambda: _run_level(topo, sched, *worst),
+                       rounds=3, iterations=1)
+
+    # Graceful degradation: faults cost throughput monotonically-ish but
+    # never zero it out below total loss, and the clean level is lossless.
+    clean = rows[0][2]
+    assert all(successes < clean for _, _, successes in rows[1:])
+    assert all(successes > 0 for _, _, successes in rows)
+    assert _run_level(topo, sched, 0, 0, 0)[0].link_losses == 0
+
+
+def test_runtime_overhead_when_no_faults_fire(benchmark, report):
+    n, d = 12, 2
+    points = duty_grid(n, d, duty_budget_fraction(0.5),
+                       candidate_sources(n, d))
+    tasks = [task_from_point(p, n, d, False) for p in points]
+
+    def old_path():
+        # The pre-runtime fan-out: evaluate in submission order, no
+        # statuses, no retries, no checkpoints (inline variant).
+        return {t.key(): _evaluate(t) for t in tasks}
+
+    def new_path():
+        return execute_tasks(tasks, config=RuntimeConfig(jobs=1)).plans
+
+    rounds = 5
+    old_best = min(_timed(old_path) for _ in range(rounds))
+    new_best = min(_timed(new_path) for _ in range(rounds))
+    assert new_path() == old_path()  # identical results, richer semantics
+
+    overhead = new_best / old_best - 1.0
+    table = Table("path", "best_seconds", "overhead",
+                  title=f"Healthy-batch runtime overhead ({len(tasks)} grid "
+                        "evaluations, inline)")
+    table.row(path="pool.map (old)", best_seconds=round(old_best, 4),
+              overhead="-")
+    table.row(path="runtime (new)", best_seconds=round(new_best, 4),
+              overhead=f"{overhead:+.1%}")
+    report(table, "fault_injection_runtime_overhead")
+
+    benchmark.pedantic(new_path, rounds=3, iterations=1)
+    # Target is < 5%; assert loosely so a noisy shared CI box cannot
+    # flake the suite while still catching a genuine regression.
+    assert overhead < 0.5
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

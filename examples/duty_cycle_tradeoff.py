@@ -29,7 +29,7 @@ def main() -> None:
     source = polynomial_schedule(n, d)
     print(f"Class N_{n}^{d}; source: {source}")
     print(f"Source min per-slot transmitters: {min(source.tx_counts)} "
-          f"(Theorem 8 optimality needs >= alpha_T*)")
+          "(Theorem 8 optimality needs >= alpha_T*)")
     print()
 
     table = Table("alpha_t", "alpha_r", "alpha_t_star", "L", "awake_frac",

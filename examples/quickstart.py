@@ -63,9 +63,9 @@ def main() -> None:
     print(f"Theorem 4 upper bound for this budget: {float(bound):.5f}")
     print(f"Optimality ratio: {float(Fraction(thr, bound)):.3f} "
           "(1.0 means the construction is provably optimal — Theorem 8)")
-    print(f"Unconstrained (non-sleeping) optimum, Theorem 3: "
+    print("Unconstrained (non-sleeping) optimum, Theorem 3: "
           f"{float(general_upper_bound(n, d)):.5f}")
-    print(f"Minimum worst-case throughput (Definition 1): "
+    print("Minimum worst-case throughput (Definition 1): "
           f"{float(min_throughput(duty, d)):.5f} > 0 certifies transparency")
 
 

@@ -59,7 +59,7 @@ def main() -> None:
         assert restored == plan.schedule
         doc = json.loads(path.read_text())
         print(f"Serialized to {path.name}: {len(doc['tx'])} slots, "
-              f"round-trip verified.")
+              "round-trip verified.")
 
 
 if __name__ == "__main__":

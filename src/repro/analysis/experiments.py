@@ -180,7 +180,7 @@ def thm2_validation(*, trials: int = 20, n: int = 7, length: int = 6,
     """Theorem 2: the closed form equals the literal Definition 2 sum."""
     rng = np.random.default_rng(seed)
     table = Table("trial", "closed_form", "brute_force", "equal",
-                  title=f"Theorem 2: closed form vs Definition 2 "
+                  title="Theorem 2: closed form vs Definition 2 "
                         f"(n={n}, L={length}, D={d})")
     for t in range(trials):
         sched = random_schedule(n, length, rng)
@@ -308,7 +308,7 @@ def thm8_optimality(*, n: int = 25, d: int = 3, alpha_r: int = 6,
     """
     table = Table("family", "alpha_t", "alpha_t_star", "min_T", "ratio",
                   "bound", "bound_holds", "optimal",
-                  title=f"Theorem 8: Thr_ave(constructed)/Thr* "
+                  title="Theorem 8: Thr_ave(constructed)/Thr* "
                         f"(n={n}, D={d}, aR={alpha_r})")
     families = [("tdma", tdma_schedule(n)), ("polynomial", polynomial_schedule(n, d))]
     for at in alpha_ts:
@@ -426,7 +426,7 @@ def energy_latency_study(*, rows: int = 5, cols: int = 5, d: int = 4,
     table = Table("scheme", "frame", "delivery_ratio", "collisions",
                   "latency_p50", "latency_p95", "awake_fraction",
                   "mj_per_delivered",
-                  title=f"Energy/latency under light traffic "
+                  title="Energy/latency under light traffic "
                         f"({rows}x{cols} grid, rate={rate}/node/slot)")
     slots = frames * max(s.frame_length for _, s in schedules)
     for name, sched in schedules:
@@ -765,7 +765,7 @@ def drift_robustness_study(*, n: int = 16, d: int = 3, alpha_t: int = 3,
     from repro.simulation.drift import ClockDrift
 
     if (n * d) % 2 != 0:
-        raise ValueError(f"pick n*D even for the regular worst case; got "
+        raise ValueError("pick n*D even for the regular worst case; got "
                          f"n={n}, D={d}")
     topo = worst_case_regular(n, d, seed=seed)
     sched = construct_detailed(polynomial_schedule(n, d), d, alpha_t,

@@ -78,7 +78,7 @@ class CertificationReport:
                 f"network with <= {self.n} nodes and degree <= {self.d}.")
         else:
             lines.append(
-                f"**NOT transparent.** Witness: with receiver "
+                "**NOT transparent.** Witness: with receiver "
                 f"{self.violation[1]} surrounded by interferers "        # type: ignore[index]
                 f"{self.violation[2]}, node {self.violation[0]} has no "  # type: ignore[index]
                 "collision-free slot.")
@@ -86,23 +86,23 @@ class CertificationReport:
             "",
             "## Worst-case throughput (exact rationals)",
             "",
-            f"- average (Definition 2 / Theorem 2): "
+            "- average (Definition 2 / Theorem 2): "
             f"**{float(self.average_throughput):.6f}** "
             f"(= {self.average_throughput})",
-            f"- Theorem 4 bound for these caps: "
+            "- Theorem 4 bound for these caps: "
             f"{float(self.theorem4_bound):.6f}",
             f"- optimality ratio: **{float(self.optimality_ratio):.4f}**"
             + (" — provably optimal (Theorem 8 equality)"
                if self.optimality_ratio == 1 else ""),
-            f"- minimum (Definition 1, adversarial neighbourhood): "
+            "- minimum (Definition 1, adversarial neighbourhood): "
             f"{float(self.minimum_throughput):.6f}",
-            f"- unconstrained optimum (Theorem 3): "
+            "- unconstrained optimum (Theorem 3): "
             f"{float(self.general_bound):.6f}",
             "",
             "## Energy",
             "",
             f"- average duty cycle: **{float(self.average_duty_cycle):.1%}**",
-            f"- per-node awake share range: "
+            "- per-node awake share range: "
             f"[{float(self.duty_min):.1%}, {float(self.duty_max):.1%}]",
             "",
             "## Latency",
@@ -111,7 +111,7 @@ class CertificationReport:
         ]
         if self.worst_access_delay is not None:
             lines.append(
-                f"- exact worst-case per-hop access delay: "
+                "- exact worst-case per-hop access delay: "
                 f"**{self.worst_access_delay}** slots")
         for key, value in self.extras.items():
             lines.append(f"- {key}: {value}")

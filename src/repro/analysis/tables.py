@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 __all__ = ["Table"]
 

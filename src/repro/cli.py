@@ -73,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bypass the schedule store entirely")
     p.add_argument("--no-schedules", action="store_true",
                    help="omit the flashable slot tables from result lines")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-evaluation wall-clock budget in seconds; a "
+                        "hung worker is reclaimed and the task retried")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="faulted attempts a task may burn beyond its first "
+                        "(default 2)")
+    p.add_argument("--stats", action="store_true",
+                   help="print schedule-store statistics (hits, misses, "
+                        "corruptions, evictions) as JSON to stderr")
+    p.add_argument("--fault-plan", default=None,
+                   help="JSON fault-injection plan (chaos testing; see "
+                        "docs/robustness.md for the schema)")
 
     p = sub.add_parser("verify", help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
@@ -99,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--period", type=int, default=200,
                    help="sensing report period in slots")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--node-crash-rate", type=float, default=0.0,
+                   help="per-node per-slot crash probability (fault "
+                        "injection; geometric sojourns)")
+    p.add_argument("--node-recover-rate", type=float, default=0.0,
+                   help="per-slot recovery probability for crashed nodes "
+                        "(0 = crashes are permanent)")
+    p.add_argument("--link-loss", type=float, default=0.0,
+                   help="probability a clean reception is destroyed anyway "
+                        "(lossy-radio fault injection)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for deterministic fault injection")
+    p.add_argument("--fault-plan", default=None,
+                   help="JSON fault-plan file; overrides the individual "
+                        "fault flags (see docs/robustness.md)")
 
     p = sub.add_parser("families", help="substrate frame-length table")
     p.add_argument("-n", type=int, required=True)
@@ -177,8 +203,19 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _load_fault_plan(path: str | None):
+    """Parse a ``--fault-plan`` JSON file into a FaultPlan (or None)."""
+    if path is None:
+        return None
+    from repro.faults import FaultPlan
+
+    with open(path) as fh:
+        return FaultPlan.from_dict(json.load(fh))
+
+
 def _cmd_provision(args) -> int:
-    from repro.service.api import ProvisionRequest, provision_batch
+    from repro.service.api import ProvisionRequest, provision_batch_report
+    from repro.service.runtime import RuntimeConfig
     from repro.service.store import ScheduleStore
 
     if args.input == "-":
@@ -198,8 +235,18 @@ def _cmd_provision(args) -> int:
         except (json.JSONDecodeError, ValueError) as exc:
             print(f"error: {args.input}:{lineno}: {exc}", file=sys.stderr)
             return 2
+    try:
+        faults = _load_fault_plan(args.fault_plan)
+        runtime = RuntimeConfig(jobs=args.jobs,
+                                task_timeout=args.task_timeout,
+                                max_retries=args.max_retries)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     store = None if args.no_cache else ScheduleStore(args.cache_dir)
-    results = provision_batch(requests, store=store, jobs=args.jobs)
+    report = provision_batch_report(requests, store=store, jobs=args.jobs,
+                                    runtime=runtime, faults=faults)
+    results = report.results
     out_lines = [json.dumps(r.to_dict(include_schedule=not args.no_schedules))
                  for r in results]
     text = "\n".join(out_lines) + ("\n" if out_lines else "")
@@ -209,15 +256,33 @@ def _cmd_provision(args) -> int:
         with open(args.output, "w") as fh:
             fh.write(text)
     failed = sum(1 for r in results if r.error is not None)
+    degraded = sum(1 for r in results if r.degraded)
     cached = sum(1 for r in results if r.from_cache)
     summary = (f"provisioned {len(results) - failed}/{len(results)} requests "
                f"({cached} plan-cache hits, jobs={args.jobs}")
+    task_summary = report.task_summary()
+    if task_summary:
+        summary += "; tasks: " + ", ".join(
+            f"{count} {status}" for status, count in sorted(task_summary.items()))
+    if report.pool_rebuilds:
+        summary += f"; pool rebuilds: {report.pool_rebuilds}"
+    if degraded:
+        summary += f"; {degraded} degraded"
     if store is not None:
         summary += (f"; store: {store.stats.hits} hits, "
                     f"{store.stats.stores} stores, "
+                    f"{store.stats.corruptions} corruptions, "
                     f"{store.stats.evictions} evictions")
     print(summary + ")", file=sys.stderr)
-    return 1 if failed else 0
+    if args.stats and store is not None:
+        print(json.dumps(store.stats.to_dict()), file=sys.stderr)
+    # Distinct exit codes: 1 = some requests unanswered, 3 = every request
+    # answered but some grid evaluations were lost to worker faults.
+    if failed:
+        return 1
+    if degraded or report.degraded:
+        return 3
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -279,7 +344,7 @@ def _cmd_simulate(args) -> int:
     if args.topology == "grid":
         side = isqrt(args.nodes)
         if side * side != args.nodes:
-            print(f"error: --topology grid needs a square node count, "
+            print("error: --topology grid needs a square node count, "
                   f"got {args.nodes}", file=sys.stderr)
             return 2
         topo = grid(side, side)
@@ -299,7 +364,18 @@ def _cmd_simulate(args) -> int:
     else:
         traffic = PeriodicSensingTraffic(topo, sink=0, period=args.period)
         hops = sink_tree(topo, 0)
-    sim = Simulator(topo, sched, traffic, next_hops=hops)
+    if args.fault_plan is not None:
+        faults = _load_fault_plan(args.fault_plan)
+    elif args.node_crash_rate or args.node_recover_rate or args.link_loss:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(seed=args.fault_seed,
+                           node_crash_rate=args.node_crash_rate,
+                           node_recover_rate=args.node_recover_rate,
+                           link_loss=args.link_loss)
+    else:
+        faults = None
+    sim = Simulator(topo, sched, traffic, next_hops=hops, faults=faults)
     metrics = sim.run(frames=args.frames)
     links = topo.directed_links()
     mean_latency = metrics.mean_latency()
@@ -315,6 +391,8 @@ def _cmd_simulate(args) -> int:
             None if mean_latency != mean_latency else mean_latency,
         "awake_fraction": sim.energy.awake_fraction(),
         "total_energy_mj": sim.energy.total_mj(),
+        "link_losses": metrics.link_losses,
+        "node_down_fraction": metrics.node_down_fraction(topo.n),
     }, indent=2))
     return 0
 
@@ -360,7 +438,7 @@ def _cmd_experiment(args) -> int:
         return 0
     if args.name not in names:
         print(f"error: unknown experiment {args.name!r}; "
-              f"run 'experiment list'", file=sys.stderr)
+              "run 'experiment list'", file=sys.stderr)
         return 2
     result = getattr(experiments, args.name)()
     table = result[0] if isinstance(result, tuple) else result

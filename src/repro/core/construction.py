@@ -122,7 +122,7 @@ def _validate_inputs(source: Schedule, alpha_t: int, alpha_r: int) -> None:
     alpha_r = check_int(alpha_r, "alpha_r", minimum=1)
     if alpha_t + alpha_r > source.n:
         raise ValueError(
-            f"need alpha_T + alpha_R <= n for receiver padding; "
+            "need alpha_T + alpha_R <= n for receiver padding; "
             f"got {alpha_t} + {alpha_r} > {source.n}"
         )
     if not source.is_non_sleeping():

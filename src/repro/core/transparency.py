@@ -31,7 +31,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro._validation import check_class_params, check_int
+from repro._validation import check_class_params
 from repro.combinatorics.coverfree import can_cover
 from repro.core.schedule import Schedule
 

@@ -1,0 +1,325 @@
+"""Deterministic fault injection shared by the simulator and the service.
+
+The paper's whole argument is *guarantees under adversity*: a
+topology-transparent schedule must deliver in every network of the class
+``N_n^D``, whatever the adversary does to the topology.  This module makes
+adversity a first-class, reproducible input.  A :class:`FaultPlan` is a
+frozen, seeded description of every fault the run should experience:
+
+* **simulator faults** — per-node crash/recover epochs (stochastic, with
+  geometric sojourn times, or explicitly scripted outages) and per-link
+  packet-loss probability layered on top of the collision rule of
+  :class:`repro.simulation.engine.Simulator`;
+* **worker faults** — crash / hang / slow / error injections for the
+  provisioning runtime (:mod:`repro.service.runtime`), used by the crash-path
+  tests and chaos benchmarks.
+
+Every decision is a pure function of ``(seed, identifiers)`` — hashed with
+SHA-256, never drawn from shared mutable RNG state — so two runs with the
+same plan experience byte-identical fault sequences regardless of thread
+or completion order.  The one exception is the stochastic node-outage
+timeline, which needs temporal correlation (a crashed node *stays* crashed
+for a sojourn) and therefore uses one seeded generator per node, again
+independent of query order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, fields
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro._validation import check_int, check_probability
+
+__all__ = ["FaultPlan", "ActiveFaults", "WORKER_FAULT_KINDS", "unit_hash"]
+
+#: Fault kinds a :class:`FaultPlan` may inject into a pool worker.  ``"ok"``
+#: is the explicit no-op placeholder inside targeted sequences.
+WORKER_FAULT_KINDS = ("crash", "hang", "slow", "error", "ok")
+
+
+def unit_hash(*parts: Any) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from hashable identifiers.
+
+    SHA-256 over the canonical JSON encoding of *parts*; the same parts
+    give the same value on every machine, process and Python version.
+    Used for per-link loss lotteries, worker-fault draws and retry-backoff
+    jitter, so fault injection never depends on shared RNG state.
+    """
+    canonical = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of every fault a run injects.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every derived decision hashes it in.
+    node_crash_rate, node_recover_rate:
+        Per-node per-slot probabilities of an up node crashing and a
+        crashed node recovering (geometric sojourn times).  A recover rate
+        of 0 makes crashes permanent.
+    link_loss:
+        Probability that an otherwise *clean* reception (exactly one
+        transmitting neighbour) is destroyed anyway — lossy-radio noise on
+        top of the paper's collision-only model.
+    node_outages:
+        Explicitly scripted downtime: ``(node, start_slot, end_slot)``
+        triples, ``end_slot=None`` meaning "never recovers".  Scripted
+        outages apply in addition to stochastic crashes.
+    worker_crash_rate, worker_hang_rate, worker_slow_rate, worker_error_rate:
+        Per-attempt probabilities that a provisioning pool worker dies
+        (``os._exit``), hangs, sleeps ``slow_seconds`` before answering,
+        or raises.  Stacked in that order from one uniform draw.
+    hang_seconds, slow_seconds:
+        Durations for the ``hang`` and ``slow`` injections.
+    targeted_worker_faults:
+        Scripted per-task injections: ``(digest, (kind, kind, ...))``
+        pairs, one kind per attempt (attempts beyond the sequence run
+        clean).  Takes precedence over the rate-based draw for that task.
+    """
+
+    seed: int = 0
+    node_crash_rate: float = 0.0
+    node_recover_rate: float = 0.0
+    link_loss: float = 0.0
+    node_outages: tuple[tuple[int, int, int | None], ...] = ()
+    worker_crash_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    worker_slow_rate: float = 0.0
+    worker_error_rate: float = 0.0
+    hang_seconds: float = 30.0
+    slow_seconds: float = 0.05
+    targeted_worker_faults: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_int(self.seed, "seed", minimum=0)
+        for name in ("node_crash_rate", "node_recover_rate", "link_loss",
+                     "worker_crash_rate", "worker_hang_rate",
+                     "worker_slow_rate", "worker_error_rate"):
+            check_probability(getattr(self, name), name)
+        total = (self.worker_crash_rate + self.worker_hang_rate
+                 + self.worker_slow_rate + self.worker_error_rate)
+        if total > 1.0:
+            raise ValueError(f"worker fault rates sum to {total} > 1")
+        if self.hang_seconds < 0 or self.slow_seconds < 0:
+            raise ValueError("hang_seconds/slow_seconds must be >= 0")
+        for entry in self.node_outages:
+            node, start, end = entry
+            check_int(node, "node_outages node", minimum=0)
+            check_int(start, "node_outages start", minimum=0)
+            if end is not None and check_int(end, "node_outages end",
+                                             minimum=0) <= start:
+                raise ValueError(f"empty outage interval {entry}")
+        for digest, kinds in self.targeted_worker_faults:
+            if not isinstance(digest, str) or not digest:
+                raise ValueError("targeted fault digest must be a non-empty "
+                                 "string")
+            for kind in kinds:
+                if kind not in WORKER_FAULT_KINDS:
+                    raise ValueError(
+                        f"unknown worker fault kind {kind!r}; expected one "
+                        f"of {WORKER_FAULT_KINDS}")
+
+    # ------------------------------------------------------------------
+    # what is switched on
+    # ------------------------------------------------------------------
+    @property
+    def simulation_active(self) -> bool:
+        """True when the plan injects any simulator-side fault."""
+        return bool(self.node_crash_rate > 0 or self.link_loss > 0
+                    or self.node_outages)
+
+    @property
+    def worker_active(self) -> bool:
+        """True when the plan injects any provisioning-worker fault."""
+        return bool(self.worker_crash_rate > 0 or self.worker_hang_rate > 0
+                    or self.worker_slow_rate > 0 or self.worker_error_rate > 0
+                    or self.targeted_worker_faults)
+
+    # ------------------------------------------------------------------
+    # worker-side decisions (provisioning runtime)
+    # ------------------------------------------------------------------
+    def worker_fault(self, digest: str, attempt: int) -> str | None:
+        """The fault (if any) to inject into attempt *attempt* of a task.
+
+        Targeted sequences win; otherwise one :func:`unit_hash` draw is
+        split across the four rate thresholds.  Deterministic in
+        ``(seed, digest, attempt)``, so retries see fresh draws but reruns
+        see the same ones.
+        """
+        check_int(attempt, "attempt", minimum=0)
+        for target, kinds in self.targeted_worker_faults:
+            if target == digest:
+                if attempt < len(kinds) and kinds[attempt] != "ok":
+                    return kinds[attempt]
+                return None
+        if not (self.worker_crash_rate or self.worker_hang_rate
+                or self.worker_slow_rate or self.worker_error_rate):
+            return None
+        u = unit_hash(self.seed, "worker", digest, attempt)
+        for kind, rate in (("crash", self.worker_crash_rate),
+                           ("hang", self.worker_hang_rate),
+                           ("slow", self.worker_slow_rate),
+                           ("error", self.worker_error_rate)):
+            if u < rate:
+                return kind
+            u -= rate
+        return None
+
+    def backoff_jitter(self, digest: str, attempt: int) -> float:
+        """Seeded retry-jitter factor in ``[0.5, 1.5)`` for one backoff."""
+        return 0.5 + unit_hash(self.seed, "backoff", digest, attempt)
+
+    # ------------------------------------------------------------------
+    # simulator-side decisions
+    # ------------------------------------------------------------------
+    def link_delivers(self, slot: int, src: int, dst: int) -> bool:
+        """Whether a clean reception on ``src -> dst`` survives this slot.
+
+        A pure function of ``(seed, slot, src, dst)`` — no RNG state — so
+        the loss pattern is identical however the engine orders receivers.
+        """
+        if self.link_loss <= 0.0:
+            return True
+        return unit_hash(self.seed, "link", slot, src, dst) >= self.link_loss
+
+    def compile(self, n: int) -> "ActiveFaults":
+        """Bind the plan to an *n*-node network, with outage timelines."""
+        return ActiveFaults(self, check_int(n, "n", minimum=1))
+
+    # ------------------------------------------------------------------
+    # interchange
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable document (inverse of :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "node_crash_rate": self.node_crash_rate,
+            "node_recover_rate": self.node_recover_rate,
+            "link_loss": self.link_loss,
+            "node_outages": [list(entry) for entry in self.node_outages],
+            "worker_crash_rate": self.worker_crash_rate,
+            "worker_hang_rate": self.worker_hang_rate,
+            "worker_slow_rate": self.worker_slow_rate,
+            "worker_error_rate": self.worker_error_rate,
+            "hang_seconds": self.hang_seconds,
+            "slow_seconds": self.slow_seconds,
+            "targeted_worker_faults": {
+                digest: list(kinds)
+                for digest, kinds in self.targeted_worker_faults
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "FaultPlan":
+        """Parse a fault-plan document (see ``docs/robustness.md``).
+
+        Every field is optional; unknown fields are rejected so a typoed
+        rate can never silently disable itself.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("fault plan must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"fault plan has unknown fields: {sorted(unknown)}")
+        kwargs: dict[str, Any] = dict(doc)
+        if "node_outages" in kwargs:
+            kwargs["node_outages"] = tuple(
+                (entry[0], entry[1], entry[2])
+                for entry in kwargs["node_outages"])
+        targeted = kwargs.get("targeted_worker_faults")
+        if targeted is not None:
+            if not isinstance(targeted, dict):
+                raise ValueError("targeted_worker_faults must be an object "
+                                 "mapping digest -> [kind, ...]")
+            kwargs["targeted_worker_faults"] = tuple(
+                (digest, tuple(kinds)) for digest, kinds in sorted(targeted.items()))
+        return cls(**kwargs)
+
+
+class ActiveFaults:
+    """A :class:`FaultPlan` bound to a concrete *n*-node network.
+
+    Holds the lazily generated per-node outage timelines (the only fault
+    source that needs memory between slots); everything else delegates to
+    the plan's pure hash draws.  Built via :meth:`FaultPlan.compile`.
+    """
+
+    def __init__(self, plan: FaultPlan, n: int) -> None:
+        """Bind *plan* to *n* nodes; timelines generate on first query."""
+        self.plan = plan
+        self.n = n
+        self._scripted: dict[int, list[tuple[int, int | None]]] = {}
+        for node, start, end in plan.node_outages:
+            self._scripted.setdefault(node, []).append((start, end))
+        # Stochastic timelines: per-node toggle slots (up -> down -> up ...),
+        # generated ahead of the queried slot.  State at slot 0 is up.
+        self._toggles: dict[int, list[int]] = {}
+        self._horizon: dict[int, float] = {}
+        self._rngs: dict[int, np.random.Generator] = {}
+
+    def node_up(self, node: int, slot: int) -> bool:
+        """Whether *node* is alive (powered, participating) in *slot*."""
+        for start, end in self._scripted.get(node, ()):
+            if start <= slot and (end is None or slot < end):
+                return False
+        if self.plan.node_crash_rate <= 0.0:
+            return True
+        toggles = self._extend_timeline(node, slot)
+        return bisect_right(toggles, slot) % 2 == 0
+
+    def down_count(self, slot: int) -> int:
+        """Number of nodes down in *slot* (for metrics accounting)."""
+        return sum(1 for x in range(self.n) if not self.node_up(x, slot))
+
+    def link_delivers(self, slot: int, src: int, dst: int) -> bool:
+        """Delegate to :meth:`FaultPlan.link_delivers`."""
+        return self.plan.link_delivers(slot, src, dst)
+
+    def outage_epochs(self, node: int, horizon: int
+                      ) -> Iterator[tuple[int, int | None]]:
+        """Yield the (start, end) downtime epochs of *node* up to *horizon*.
+
+        Scripted epochs come first, then generated stochastic ones;
+        useful for reporting and for asserting determinism in tests.
+        """
+        yield from self._scripted.get(node, ())
+        if self.plan.node_crash_rate <= 0.0:
+            return
+        toggles = self._extend_timeline(node, horizon)
+        for i in range(0, len(toggles) - 1, 2):
+            yield toggles[i], toggles[i + 1]
+        if len(toggles) % 2 == 1:
+            yield toggles[-1], None
+
+    def _extend_timeline(self, node: int, slot: int) -> list[int]:
+        """Generate the node's toggle slots past *slot*; return them."""
+        toggles = self._toggles.setdefault(node, [])
+        horizon = self._horizon.get(node, 0.0)
+        if horizon > slot:
+            return toggles
+        rng = self._rngs.get(node)
+        if rng is None:
+            rng = np.random.default_rng([self.plan.seed, 0xD0DE, node])
+            self._rngs[node] = rng
+        while horizon <= slot:
+            if len(toggles) % 2 == 0:  # up at the horizon: sample uptime
+                horizon += float(rng.geometric(self.plan.node_crash_rate))
+                toggles.append(int(horizon))
+            elif self.plan.node_recover_rate <= 0.0:  # down forever
+                horizon = float("inf")
+            else:  # down at the horizon: sample downtime
+                horizon += float(rng.geometric(self.plan.node_recover_rate))
+                toggles.append(int(horizon))
+        self._horizon[node] = horizon
+        return toggles

@@ -8,16 +8,33 @@ requests fast:
     Content-addressed, versioned on-disk schedule cache with an in-memory
     LRU front, atomic writes and corruption-tolerant loads.
 ``repro.service.provision``
-    Deduplicating fan-out of planner grid evaluations over a process
-    pool, with deterministic (grid-order) result merging.
+    Deduplicating fan-out of planner grid evaluations with deterministic
+    (grid-order) result merging.
+``repro.service.runtime``
+    The fault-tolerant execution layer underneath: individual futures,
+    per-task timeout, retry with seeded backoff, broken-pool recovery
+    with bisection quarantine, and checkpointing into the store.
 ``repro.service.api``
     The batch request surface — :class:`ProvisionRequest`,
-    :class:`ProvisionResult`, :func:`provision_batch` — exposed on the
-    command line as ``repro provision`` (JSONL in/out).
+    :class:`ProvisionResult`, :func:`provision_batch`,
+    :func:`provision_batch_report` — exposed on the command line as
+    ``repro provision`` (JSONL in/out).
 """
 
-from repro.service.api import ProvisionRequest, ProvisionResult, provision_batch
+from repro.service.api import (
+    BatchReport,
+    ProvisionRequest,
+    ProvisionResult,
+    provision_batch,
+    provision_batch_report,
+)
 from repro.service.provision import EvalTask, evaluate_tasks, task_from_point
+from repro.service.runtime import (
+    RuntimeConfig,
+    RuntimeResult,
+    TaskReport,
+    execute_tasks,
+)
 from repro.service.store import (
     ScheduleStore,
     StoreStats,
@@ -30,7 +47,13 @@ from repro.service.store import (
 __all__ = [
     "ProvisionRequest",
     "ProvisionResult",
+    "BatchReport",
     "provision_batch",
+    "provision_batch_report",
+    "RuntimeConfig",
+    "RuntimeResult",
+    "TaskReport",
+    "execute_tasks",
     "EvalTask",
     "evaluate_tasks",
     "task_from_point",

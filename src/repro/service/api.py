@@ -16,12 +16,17 @@ per-class requests.  :func:`provision_batch` is that service's core:
 
 Requests that fail (impossible class parameters, infeasible budgets) are
 reported per-request via :attr:`ProvisionResult.error`; one bad request
-never poisons the batch.
+never poisons the batch.  Grid evaluations run under the fault-tolerant
+runtime of :mod:`repro.service.runtime`: a crashed, hung or raising
+worker costs *at most* the grid points it was computing — every healthy
+task's plan still comes back, the faulty tasks' statuses are reported per
+task, and requests whose grid lost points are answered from the
+survivors and marked ``degraded``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Any, Iterable
 
@@ -34,10 +39,13 @@ from repro.core.planner import (
     select_best,
 )
 from repro.core.serialization import schedule_to_dict
-from repro.service.provision import evaluate_tasks, task_from_point
-from repro.service.store import ScheduleStore
+from repro.faults import FaultPlan
+from repro.service.provision import task_from_point
+from repro.service.runtime import RuntimeConfig, TaskReport, execute_tasks
+from repro.service.store import ScheduleStore, StoreStats
 
-__all__ = ["ProvisionRequest", "ProvisionResult", "provision_batch"]
+__all__ = ["ProvisionRequest", "ProvisionResult", "BatchReport",
+           "provision_batch", "provision_batch_report"]
 
 
 @dataclass(frozen=True)
@@ -108,21 +116,35 @@ class ProvisionResult:
         (no grid point of this request was evaluated or even looked up).
     error:
         Human-readable failure description, or None on success.
+    degraded:
+        True when some of this request's grid evaluations were lost to
+        worker faults and the winner was selected among the survivors
+        only — the plan is valid but possibly not the global optimum.
+        Degraded winners are never written to the plan-level cache.
+    failed_tasks:
+        ``(digest, status)`` pairs for the lost grid points of this
+        request (statuses from :mod:`repro.service.runtime`).
     """
 
     request: ProvisionRequest
     plan: Plan | None
     from_cache: bool = False
     error: str | None = None
+    degraded: bool = False
+    failed_tasks: tuple[tuple[str, str], ...] = ()
 
     def to_dict(self, *, include_schedule: bool = True) -> dict[str, Any]:
         """JSONL result line; with *include_schedule*, embeds the flashable
         schedule document of :mod:`repro.core.serialization`."""
         doc: dict[str, Any] = {"request": self.request.to_dict()}
+        if self.failed_tasks:
+            doc["failed_tasks"] = {d: s for d, s in self.failed_tasks}
         if self.error is not None:
             doc["error"] = self.error
             return doc
         assert self.plan is not None
+        if self.degraded:
+            doc["degraded"] = True
         doc.update({
             "family": self.plan.family,
             "alpha_t": self.plan.alpha_t,
@@ -160,10 +182,57 @@ def _no_plan_error(n: int, max_duty, balanced: bool) -> str:
             f"fits duty budget {max_duty} for n={n} (need >= 2/n)")
 
 
+@dataclass
+class BatchReport:
+    """Full accounting of one :func:`provision_batch_report` run.
+
+    Attributes
+    ----------
+    results:
+        One :class:`ProvisionResult` per request, in request order —
+        exactly what :func:`provision_batch` returns.
+    task_reports:
+        Digest -> :class:`~repro.service.runtime.TaskReport` for every
+        distinct grid evaluation the batch attempted (cache hits are not
+        attempts and do not appear).
+    pool_rebuilds:
+        Times the runtime rebuilt its worker pool (crashes + reclaimed
+        hangs).
+    store_stats:
+        The live :class:`~repro.service.store.StoreStats` of the store
+        used, or None when caching was disabled.
+    """
+
+    results: list[ProvisionResult]
+    task_reports: dict[str, TaskReport] = field(default_factory=dict)
+    pool_rebuilds: int = 0
+    store_stats: StoreStats | None = None
+
+    def task_summary(self) -> dict[str, int]:
+        """Status -> count over every attempted grid evaluation."""
+        counts: dict[str, int] = {}
+        for report in self.task_reports.values():
+            counts[report.status] = counts.get(report.status, 0) + 1
+        return counts
+
+    @property
+    def degraded(self) -> bool:
+        """True when any request lost grid points to worker faults."""
+        return any(r.degraded or (r.error is not None and r.failed_tasks)
+                   for r in self.results)
+
+
 def provision_batch(requests: Iterable[ProvisionRequest], *,
                     store: ScheduleStore | None = None,
-                    jobs: int = 1) -> list[ProvisionResult]:
+                    jobs: int = 1, runtime: RuntimeConfig | None = None,
+                    faults: FaultPlan | None = None) -> list[ProvisionResult]:
     """Answer a batch of provisioning requests, cached and in parallel.
+
+    Thin wrapper over :func:`provision_batch_report` that keeps the
+    historical return type (results only).  Never raises for a worker
+    fault: requests whose grid evaluations were lost come back partial —
+    answered from the surviving candidates and marked ``degraded``, or
+    carrying an ``error`` when nothing survived.
 
     Parameters
     ----------
@@ -175,8 +244,33 @@ def provision_batch(requests: Iterable[ProvisionRequest], *,
     jobs:
         Process-pool width for grid-point evaluation; ``1`` runs inline.
         The selected plans are identical for every value of *jobs*.
+    runtime:
+        Optional :class:`~repro.service.runtime.RuntimeConfig` tuning
+        timeouts, retries and quarantine; *jobs* (when not 1) overrides
+        its pool width.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injecting worker
+        faults — the hook used by crash-path tests and chaos benchmarks.
+    """
+    return provision_batch_report(requests, store=store, jobs=jobs,
+                                  runtime=runtime, faults=faults).results
+
+
+def provision_batch_report(requests: Iterable[ProvisionRequest], *,
+                           store: ScheduleStore | None = None,
+                           jobs: int = 1,
+                           runtime: RuntimeConfig | None = None,
+                           faults: FaultPlan | None = None) -> BatchReport:
+    """Like :func:`provision_batch`, returning the full :class:`BatchReport`.
+
+    The report adds what operators need under faults: per-task statuses
+    (``ok / retried / timed-out / failed / quarantined``), pool-rebuild
+    counts, and the store's hit/miss/corruption statistics.
     """
     jobs = check_int(jobs, "jobs", minimum=1)
+    config = runtime if runtime is not None else RuntimeConfig()
+    if jobs != 1 and config.jobs != jobs:
+        config = replace(config, jobs=jobs)
     requests = list(requests)
     signatures: list[tuple | None] = []
     errors: dict[int, str] = {}
@@ -218,23 +312,30 @@ def provision_batch(requests: Iterable[ProvisionRequest], *,
                 tasks.append(task)
         pending[sig] = work
 
-    fresh = evaluate_tasks(tasks, jobs=jobs)
-    if store is not None:
-        for task in tasks:
-            digest = task.key()
-            if digest in fresh:
-                store.put_eval(task.family, task.n, task.d, task.alpha_t,
-                               task.alpha_r, task.balanced, fresh[digest])
+    # The fault-tolerant runtime: individual futures, retry/backoff,
+    # broken-pool recovery, and checkpointing of every completed
+    # evaluation straight into the store (so an interrupted batch
+    # resumes warm — cache lookups above already reap old checkpoints).
+    outcome = execute_tasks(tasks, config=config, store=store, faults=faults)
+    fresh = outcome.plans
 
+    lost: dict[tuple, list[tuple[str, str]]] = {}
     for sig, work in pending.items():
         candidates = []
         for digest in work.digests:
-            plan = work.cached.get(digest) or fresh[digest]
+            plan = work.cached.get(digest) or fresh.get(digest)
+            if plan is None:  # evaluation lost to a worker fault
+                report = outcome.reports[digest]
+                lost.setdefault(sig, []).append((digest, report.status))
+                continue
             if plan.duty_cycle <= work.budget:
                 candidates.append(plan)
         best = select_best(candidates)
         resolved[sig] = (best, False)
-        if best is not None and store is not None:
+        # Degraded winners are never cached: with the full grid they
+        # might lose to one of the lost points, and a poisoned cache
+        # would outlive the fault.
+        if best is not None and store is not None and sig not in lost:
             store.put_plan(work.n, work.d, work.budget, work.balanced, best)
 
     results: list[ProvisionResult] = []
@@ -243,11 +344,23 @@ def provision_batch(requests: Iterable[ProvisionRequest], *,
             results.append(ProvisionResult(request, None, error=errors[i]))
             continue
         plan, from_cache = resolved[sig]
-        if plan is None:
+        failed = tuple(lost.get(sig, ()))
+        if plan is None and failed:
+            results.append(ProvisionResult(
+                request, None, failed_tasks=failed,
+                error=(f"no plan within budget: {len(failed)} grid "
+                       "evaluation(s) lost to worker faults ("
+                       + ", ".join(f"{d[:12]}={s}" for d, s in failed)
+                       + ") and no surviving candidate fits")))
+        elif plan is None:
             results.append(ProvisionResult(
                 request, None,
                 error=_no_plan_error(sig[0], request.max_duty, sig[3])))
         else:
             results.append(ProvisionResult(request, plan,
-                                           from_cache=from_cache))
-    return results
+                                           from_cache=from_cache,
+                                           degraded=bool(failed),
+                                           failed_tasks=failed))
+    return BatchReport(results=results, task_reports=outcome.reports,
+                       pool_rebuilds=outcome.pool_rebuilds,
+                       store_stats=store.stats if store is not None else None)

@@ -5,22 +5,28 @@ parallel: every :class:`~repro.core.planner.GridPoint` evaluation is
 independent and budget-free (see
 :func:`repro.core.planner.evaluate_grid_point`).  This module farms
 deduplicated grid points — possibly pooled across a whole batch of
-provisioning requests — over a :class:`concurrent.futures`
-process pool and returns results keyed by the store's key schema, so the
-caller can reassemble per-request candidate lists *in grid order* and
-select winners with :func:`repro.core.planner.select_best`.  Selection
-order, not completion order, decides ties; hence ``jobs=1`` and
+provisioning requests — over the fault-tolerant runtime of
+:mod:`repro.service.runtime` and returns results keyed by the store's key
+schema, so the caller can reassemble per-request candidate lists *in grid
+order* and select winners with :func:`repro.core.planner.select_best`.
+Selection order, not completion order, decides ties; hence ``jobs=1`` and
 ``jobs=N`` provably produce identical plans.
+
+Failure semantics: a raising task never takes the batch down with it.
+:func:`evaluate_tasks` returns every survivor's plan; the failed tasks'
+diagnoses live in the :class:`~repro.service.runtime.TaskReport` objects
+of :func:`~repro.service.runtime.execute_tasks`, which this function
+wraps.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro._validation import check_int
-from repro.core.planner import GridPoint, Plan, evaluate_grid_point
+from repro.core.planner import GridPoint, Plan
 from repro.core.schedule import Schedule
+from repro.service.runtime import RuntimeConfig, execute_tasks
 from repro.service.store import key_digest, eval_key
 
 __all__ = ["EvalTask", "task_from_point", "evaluate_tasks"]
@@ -67,26 +73,28 @@ def task_from_point(point: GridPoint, n: int, d: int, balanced: bool
                     balanced=balanced)
 
 
-def _evaluate_task(task: EvalTask) -> tuple[str, Plan]:
-    """Worker entry point: evaluate one task, return ``(digest, plan)``.
-
-    Module-level so the process pool can pickle it by reference.
-    """
-    point = GridPoint(task.family, task.source, task.alpha_t, task.alpha_r)
-    plan = evaluate_grid_point(point, task.d, balanced=task.balanced)
-    return task.key(), plan
-
-
-def evaluate_tasks(tasks: list[EvalTask], *, jobs: int = 1
-                   ) -> dict[str, Plan]:
-    """Evaluate every task, inline or over a process pool.
+def evaluate_tasks(tasks: list[EvalTask], *, jobs: int = 1,
+                   config: RuntimeConfig | None = None, store=None,
+                   faults=None) -> dict[str, Plan]:
+    """Evaluate every task; survivors always come back, failures never
+    poison the batch.
 
     Returns a dict from store-key digest to :class:`Plan`.  Duplicate
     digests in *tasks* are evaluated once.  With ``jobs == 1`` everything
-    runs in-process (no pool, no pickling); with ``jobs > 1`` tasks are
-    distributed over ``min(jobs, len(tasks))`` workers.  Because results
+    runs in-process (no pool, no pickling); with ``jobs > 1`` each task is
+    an individual future over ``min(jobs, len(tasks))`` workers under the
+    fault-tolerant runtime (per-task timeout, retry with backoff, broken
+    pool recovery — see :mod:`repro.service.runtime`).  Because results
     come back *keyed*, scheduling order cannot influence which plan a
     request ultimately selects — merging is deterministic by design.
+
+    A task whose final attempt raises is simply *absent* from the returned
+    dict; every other task's plan is still present.  Callers that need the
+    per-task diagnosis (status, attempts, error text) should use
+    :func:`repro.service.runtime.execute_tasks` directly, which this
+    function wraps.  *config*, *store* and *faults* pass through to it:
+    *store* checkpoints completed evaluations immediately, *faults*
+    injects worker failures for tests and chaos runs.
     """
     jobs = check_int(jobs, "jobs", minimum=1)
     distinct: dict[str, EvalTask] = {}
@@ -94,13 +102,11 @@ def evaluate_tasks(tasks: list[EvalTask], *, jobs: int = 1
         distinct.setdefault(task.key(), task)
     if not distinct:
         return {}
-    todo = list(distinct.values())
-    if jobs == 1 or len(todo) == 1:
-        return {task.key(): evaluate_grid_point(
-            GridPoint(task.family, task.source, task.alpha_t, task.alpha_r),
-            task.d, balanced=task.balanced) for task in todo}
-    results: dict[str, Plan] = {}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-        for digest, plan in pool.map(_evaluate_task, todo):
-            results[digest] = plan
-    return results
+    if len(distinct) == 1 and faults is None:
+        jobs = 1  # a pool for one task is pure overhead
+    config = config or RuntimeConfig()
+    if config.jobs != jobs:
+        config = replace(config, jobs=jobs)
+    outcome = execute_tasks(distinct.values(), config=config, store=store,
+                            faults=faults)
+    return outcome.plans

@@ -110,20 +110,47 @@ class StoreStats:
         Lookups that found nothing (the caller will recompute).
     stores:
         Entries written.
+    corruptions:
+        Entries that existed but failed to load (unparsable, key
+        mismatch, semantically invalid).  Each is reported as a miss; the
+        counter is the store's quiet-failure audit trail.
     evictions:
-        Corrupt or invalid entries removed during a failed load.
+        Corrupt entries actually removed (unlinked) during a failed load;
+        lags :attr:`corruptions` only when the unlink itself fails.
+    last_corruption:
+        Filename and reason of the most recent corrupt load, for
+        diagnosis without digging through logs.
     """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    corruptions: int = 0
     evictions: int = 0
+    last_corruption: str | None = None
 
     @property
     def hits(self) -> int:
         """Total lookups served from either layer."""
         return self.memory_hits + self.disk_hits
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every counter.
+
+        This is what :class:`~repro.service.api.BatchReport` and
+        ``repro provision --stats`` surface.
+        """
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corruptions": self.corruptions,
+            "evictions": self.evictions,
+            "last_corruption": self.last_corruption,
+        }
 
 
 class ScheduleStore:
@@ -214,12 +241,16 @@ class ScheduleStore:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
-            # A bad cache entry is evicted and recomputed, never fatal.
-            self.stats.evictions += 1
+        except Exception as exc:
+            # A bad cache entry is evicted and recomputed, never fatal —
+            # but never silently either: the stats record what happened.
+            self.stats.corruptions += 1
             self.stats.misses += 1
+            self.stats.last_corruption = \
+                f"{path.name}: {type(exc).__name__}: {exc}"
             try:
                 path.unlink()
+                self.stats.evictions += 1
             except OSError:  # pragma: no cover - concurrent removal
                 pass
             return None

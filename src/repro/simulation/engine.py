@@ -23,7 +23,10 @@ Two operating modes:
   sink tree.
 
 A :class:`repro.simulation.drift.ClockDrift` lets each node disagree about
-the current frame position, probing the paper's synchrony assumption.
+the current frame position, probing the paper's synchrony assumption.  A
+:class:`repro.faults.FaultPlan` injects node crash/recover epochs and
+per-link packet loss on top of the collision rule, turning "does the TT
+guarantee degrade gracefully?" into a runnable experiment.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ import numpy as np
 
 from repro._validation import check_int, check_probability
 from repro.core.schedule import Schedule
+from repro.faults import FaultPlan
 from repro.simulation.drift import ClockDrift
 from repro.simulation.energy import EnergyAccount, EnergyModel, RadioState
 from repro.simulation.metrics import Metrics
@@ -87,6 +91,13 @@ class Simulator:
         robustness probe only.
     rng:
         Random source for the capture lottery.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`.  Crashed nodes neither
+        transmit, listen nor sense (their queues survive a reboot); clean
+        receptions on lossy links are destroyed with the plan's
+        ``link_loss`` probability — in queued mode the sender requeues
+        and retransmits, exactly as under a collision.  All injection is
+        deterministic in the plan's seed.
     """
 
     def __init__(self, topology: Topology, schedule: Schedule, traffic,
@@ -96,7 +107,8 @@ class Simulator:
                  queue_limit: int = 64,
                  idle_transmitters_sleep: bool = True,
                  capture_probability: float = 0.0,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 faults: FaultPlan | None = None) -> None:
         if topology.n > schedule.n:
             raise ValueError(
                 f"topology has {topology.n} nodes but the schedule only "
@@ -113,6 +125,11 @@ class Simulator:
         self.capture_probability = check_probability(
             capture_probability, "capture_probability")
         self.rng = rng if rng is not None else np.random.default_rng()
+        # Fault injection is compiled once per simulator so stochastic
+        # outage timelines are generated exactly once per node; inactive
+        # plans cost the hot path nothing (a single None check per slot).
+        self._faults = faults.compile(topology.n) \
+            if faults is not None and faults.simulation_active else None
         self.metrics = Metrics()
         self.queues: list[deque[Packet]] = [deque() for _ in range(topology.n)]
         self._pid = itertools.count()
@@ -163,6 +180,9 @@ class Simulator:
 
     def _admit_arrivals(self, slot: int) -> None:
         for src, final_dst in self.traffic.arrivals(slot):
+            if self._faults is not None and \
+                    not self._faults.node_up(src, slot):
+                continue  # a crashed sensor senses nothing
             self.metrics.generated += 1
             hop = self._route(src, final_dst)
             if hop is None:
@@ -175,13 +195,22 @@ class Simulator:
         """Advance the simulation by one slot."""
         slot = self._slot
         n = self.topology.n
-        length = self.schedule.frame_length
         if not self.traffic.saturated:
             self._admit_arrivals(slot)
 
         # Per-node beliefs about the current frame position (cached when
         # all clocks agree).
         tx_eligible, listening = self._eligibility(slot)
+
+        # Injected node outages: a crashed node neither transmits nor
+        # listens (copy the flags — the synchronous path caches them).
+        if self._faults is not None:
+            up = [self._faults.node_up(x, slot) for x in range(n)]
+            down = n - sum(up)
+            if down:
+                self.metrics.record_nodes_down(down)
+                tx_eligible = [tx_eligible[x] and up[x] for x in range(n)]
+                listening = [listening[x] and up[x] for x in range(n)]
 
         transmissions: dict[int, Packet | None] = {}
         if self.traffic.saturated:
@@ -222,9 +251,19 @@ class Simulator:
                 if self.capture_probability > 0.0 and \
                         self.rng.random() < self.capture_probability:
                     winner = talkers[int(self.rng.integers(len(talkers)))]
-                    received[y] = (winner, transmissions[winner])
+                    if self._faults is not None and \
+                            not self._faults.link_delivers(slot, winner, y):
+                        self.metrics.record_link_loss()
+                    else:
+                        received[y] = (winner, transmissions[winner])
             elif len(talkers) == 1:
-                received[y] = (talkers[0], transmissions[talkers[0]])
+                # Injected link loss destroys an otherwise-clean frame;
+                # in queued mode the sender requeues and retransmits.
+                if self._faults is not None and \
+                        not self._faults.link_delivers(slot, talkers[0], y):
+                    self.metrics.record_link_loss()
+                else:
+                    received[y] = (talkers[0], transmissions[talkers[0]])
 
         handed_off: set[int] = set()
         for y, (x, pkt) in received.items():

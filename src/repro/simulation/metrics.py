@@ -32,6 +32,12 @@ class Metrics:
         destination).
     latencies:
         End-to-end delivery latencies in slots.
+    link_losses:
+        Clean receptions destroyed by injected per-link loss
+        (:class:`repro.faults.FaultPlan`), not by collisions.
+    node_down_slots:
+        Total node-slots spent crashed under an injected fault plan
+        (summed over nodes; divide by ``slots * n`` for the fraction).
     """
 
     slots: int = 0
@@ -42,6 +48,8 @@ class Metrics:
     delivered: int = 0
     dropped: int = 0
     latencies: list[int] = field(default_factory=list)
+    link_losses: int = 0
+    node_down_slots: int = 0
 
     # -- recording (engine-facing) ------------------------------------------
     def record_attempt(self, src: int, dst: int) -> None:
@@ -61,6 +69,14 @@ class Metrics:
         check_int(latency, "latency", minimum=0)
         self.delivered += 1
         self.latencies.append(latency)
+
+    def record_link_loss(self) -> None:
+        """Count a clean reception destroyed by injected link loss."""
+        self.link_losses += 1
+
+    def record_nodes_down(self, count: int) -> None:
+        """Count *count* crashed nodes for the current slot."""
+        self.node_down_slots += count
 
     # -- reporting ------------------------------------------------------------
     def link_success_rate(self, src: int, dst: int) -> float:
@@ -107,3 +123,10 @@ class Metrics:
     def total_collisions(self) -> int:
         """Total receiver-side collision events."""
         return sum(self.collisions.values())
+
+    def node_down_fraction(self, n: int) -> float:
+        """Fraction of node-slots spent crashed (0.0 with no faults)."""
+        check_int(n, "n", minimum=1)
+        if self.slots == 0:
+            return 0.0
+        return self.node_down_slots / (self.slots * n)

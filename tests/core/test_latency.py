@@ -102,7 +102,6 @@ class TestMeanWait:
         from repro.core.transparency import sigma
         from repro.simulation.engine import Packet, Simulator
         from repro.simulation.topology import Topology
-        from repro.simulation.traffic import SaturatedTraffic
 
         from repro.core.schedule import Schedule
 

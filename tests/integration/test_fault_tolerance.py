@@ -6,8 +6,6 @@ These tests kill nodes mid-mission and verify the untouched schedule keeps
 serving every surviving link, including with rerouted convergecast.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

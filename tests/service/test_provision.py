@@ -138,3 +138,86 @@ class TestResultDataclass:
         assert isinstance(result, ProvisionResult)
         with pytest.raises(AttributeError):
             result.from_cache = True  # type: ignore[misc]
+
+
+def _grid_digests(n=12, d=2, duty=0.5, balanced=False):
+    """The store-key digests of the planner grid, in grid order."""
+    from repro.core.planner import (candidate_sources, duty_budget_fraction,
+                                    duty_grid)
+    from repro.service.provision import task_from_point
+    points = duty_grid(n, d, duty_budget_fraction(duty),
+                       candidate_sources(n, d))
+    return [task_from_point(p, n, d, balanced).key() for p in points]
+
+
+class TestFaultTolerance:
+    """The PR's acceptance scenario: crash + hang, then warm resume."""
+
+    def test_crash_and_hang_then_resume_from_checkpoint(
+            self, store, monkeypatch):
+        from fractions import Fraction
+
+        from repro.faults import FaultPlan
+        from repro.service.api import provision_batch_report
+        from repro.service.runtime import RuntimeConfig
+
+        digests = _grid_digests()
+        crash, hang = digests[0], digests[1]
+        faults = FaultPlan(hang_seconds=20, targeted_worker_faults=(
+            (crash, ("crash",)), (hang, ("hang",) * 4)))
+        request = ProvisionRequest(12, 2, 0.5)
+
+        # --- faulted run: one worker crash, one wedged worker ----------
+        report = provision_batch_report(
+            [request], store=store,
+            runtime=RuntimeConfig(jobs=2, task_timeout=1.0, max_retries=1,
+                                  backoff_base=0.01),
+            faults=faults)
+        assert report.pool_rebuilds >= 1
+        assert report.task_reports[crash].status == "retried"
+        assert report.task_reports[hang].status == "timed-out"
+        result = report.results[0]
+        assert result.error is None and result.plan is not None
+        assert result.degraded and report.degraded
+        assert dict(result.failed_tasks) == {hang: "timed-out"}
+        # A degraded winner must never reach the plan-level cache.
+        assert store.get_plan(12, 2, Fraction(1, 2), False) is None
+
+        # --- warm re-run: only the lost grid point is re-evaluated -----
+        calls = _count_constructions(monkeypatch)
+        warm_store = ScheduleStore(store.cache_dir)
+        resumed = provision_batch_report([request], store=warm_store)
+        assert len(calls) == 1  # every checkpointed sibling was reaped
+        assert warm_store.stats.hits == len(digests) - 1
+        final = resumed.results[0]
+        assert not final.degraded and final.failed_tasks == ()
+        assert final.plan == plan_schedule(12, 2, 0.5)
+        assert resumed.task_summary() == {"ok": 1}
+        # The healthy run caches the plan like any other.
+        assert warm_store.stats.stores >= 2  # the lost eval + the plan
+
+    def test_all_grid_points_lost_yields_error_not_raise(self):
+        from repro.faults import FaultPlan
+        from repro.service.runtime import RuntimeConfig
+
+        digests = _grid_digests()
+        faults = FaultPlan(targeted_worker_faults=tuple(
+            (d, ("error",) * 9) for d in digests))
+        results = provision_batch(
+            [ProvisionRequest(12, 2, 0.5)],
+            runtime=RuntimeConfig(max_retries=0), faults=faults)
+        result = results[0]
+        assert result.plan is None
+        assert "lost to worker faults" in result.error
+        assert len(result.failed_tasks) == len(digests)
+
+    def test_healthy_batch_report_shape(self, store):
+        from repro.service.api import provision_batch_report
+
+        report = provision_batch_report(
+            [ProvisionRequest(12, 2, 0.5)], store=store)
+        assert not report.degraded
+        assert report.pool_rebuilds == 0
+        assert set(report.task_summary()) == {"ok"}
+        assert report.store_stats is store.stats
+        assert report.store_stats.stores > 0

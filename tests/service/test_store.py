@@ -190,3 +190,42 @@ class TestPlannerIntegration:
         plan_schedule(10, 2, max_duty=0.6,
                       families=[("tdma", tdma_schedule(10))], cache=store)
         assert len(store) == 0
+
+
+class TestStats:
+    def test_corruption_counters_and_audit_trail(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        fresh = ScheduleStore(store.cache_dir)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) is None
+        stats = fresh.stats
+        assert stats.corruptions == 1
+        assert stats.evictions == 1
+        assert stats.misses == 1  # a corrupt entry still counts as a miss
+        assert stats.last_corruption is not None
+        assert key_digest(key)[:4] in stats.last_corruption
+
+    def test_hits_property_sums_both_layers(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        fresh = ScheduleStore(store.cache_dir)
+        fresh.get_eval(plan.family, 12, 2, 2, 4, False)  # disk
+        fresh.get_eval(plan.family, 12, 2, 2, 4, False)  # memory
+        assert fresh.stats.hits == 2
+        assert fresh.stats.hits == \
+            fresh.stats.memory_hits + fresh.stats.disk_hits
+
+    def test_to_dict_snapshot(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.get_eval(plan.family, 12, 2, 2, 4, False)
+        store.get_eval("tdma", 12, 2, 2, 4, False)
+        doc = store.stats.to_dict()
+        assert doc["stores"] == 1 and doc["hits"] == 1 and doc["misses"] == 1
+        assert doc["corruptions"] == 0 and doc["last_corruption"] is None
+        assert set(doc) == {"memory_hits", "disk_hits", "hits", "misses",
+                            "stores", "corruptions", "evictions",
+                            "last_corruption"}
+        json.dumps(doc)  # the snapshot is JSON-serializable as promised

@@ -1,6 +1,5 @@
 """Energy model and accounting."""
 
-import numpy as np
 import pytest
 
 from repro.simulation.energy import EnergyAccount, EnergyModel, RadioState

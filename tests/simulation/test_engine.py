@@ -8,7 +8,7 @@ from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
 from repro.core.schedule import Schedule
 from repro.core.throughput import guaranteed_slots
 from repro.simulation.drift import ClockDrift
-from repro.simulation.energy import EnergyModel, RadioState
+from repro.simulation.energy import RadioState
 from repro.simulation.engine import Simulator
 from repro.simulation.routing import sink_tree
 from repro.simulation.topology import Topology, grid, ring, star, worst_case_regular

@@ -1,0 +1,171 @@
+"""Deterministic fault injection in the simulator: crashes, loss, recovery."""
+
+import pytest
+
+from repro.core.construction import construct
+from repro.core.nonsleeping import polynomial_schedule, tdma_schedule
+from repro.faults import FaultPlan, WORKER_FAULT_KINDS, unit_hash
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import grid
+from repro.simulation.traffic import PoissonTraffic, SaturatedTraffic
+
+import numpy as np
+
+
+def _sched(n=16, d=4):
+    return construct(polynomial_schedule(n, d), d, 4, 6)
+
+
+class TestFaultPlanValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(link_loss=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(node_crash_rate=-0.1)
+
+    def test_rejects_rate_sum_above_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultPlan(worker_crash_rate=0.6, worker_error_rate=0.6)
+
+    def test_rejects_unknown_worker_fault_kind(self):
+        with pytest.raises(ValueError, match="unknown worker fault"):
+            FaultPlan(targeted_worker_faults=(("abc", ("explode",)),))
+
+    def test_rejects_empty_outage_interval(self):
+        with pytest.raises(ValueError, match="empty outage"):
+            FaultPlan(node_outages=((0, 10, 10),))
+
+    def test_round_trip_and_unknown_fields(self):
+        plan = FaultPlan(seed=7, link_loss=0.1, node_crash_rate=0.01,
+                         node_recover_rate=0.2, node_outages=((3, 0, None),),
+                         targeted_worker_faults=(("d" * 8, ("crash", "ok")),))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        with pytest.raises(ValueError, match="unknown fields"):
+            FaultPlan.from_dict({"link_los": 0.1})
+
+
+class TestUnitHash:
+    def test_stable_and_uniformish(self):
+        assert unit_hash(1, "a", 2) == unit_hash(1, "a", 2)
+        draws = [unit_hash(0, "u", i) for i in range(500)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+    def test_worker_fault_deterministic_per_attempt(self):
+        plan = FaultPlan(seed=5, worker_crash_rate=0.25,
+                         worker_error_rate=0.25)
+        seq = [plan.worker_fault("deadbeef", a) for a in range(50)]
+        assert seq == [plan.worker_fault("deadbeef", a) for a in range(50)]
+        assert any(k == "crash" for k in seq)
+        assert any(k is None for k in seq)
+        assert set(k for k in seq if k) <= set(WORKER_FAULT_KINDS)
+
+    def test_targeted_sequence_wins_then_runs_clean(self):
+        plan = FaultPlan(worker_crash_rate=1.0, targeted_worker_faults=(
+            ("t1", ("hang", "ok")),))
+        assert plan.worker_fault("t1", 0) == "hang"
+        assert plan.worker_fault("t1", 1) is None   # explicit "ok"
+        assert plan.worker_fault("t1", 2) is None   # beyond sequence: clean
+        assert plan.worker_fault("t2", 0) == "crash"  # rate applies to others
+
+
+class TestNodeOutages:
+    def test_dead_node_serves_no_links(self):
+        sched = _sched()
+        topo = grid(4, 4)
+        sim = Simulator(topo, sched, SaturatedTraffic(topo),
+                        faults=FaultPlan(node_outages=((5, 0, None),)))
+        metrics = sim.run(frames=1)
+        for x, y in topo.directed_links():
+            if 5 in (x, y):
+                assert metrics.successes.get((x, y), 0) == 0
+            else:
+                assert metrics.successes.get((x, y), 0) >= 1
+        assert metrics.node_down_slots == metrics.slots
+        assert metrics.node_down_fraction(topo.n) == pytest.approx(1 / 16)
+
+    def test_recovered_node_rejoins_service(self):
+        """Self-stabilization: after the outage ends, the untouched
+        schedule serves the rebooted node's links again."""
+        sched = _sched()
+        topo = grid(4, 4)
+        length = sched.frame_length
+        sim = Simulator(topo, sched, SaturatedTraffic(topo),
+                        faults=FaultPlan(node_outages=((5, 0, length),)))
+        frame1 = sim.run(frames=1)
+        assert all(frame1.successes.get((5, y), 0) == 0
+                   for y in topo.neighbors(5))
+        sim.run(frames=1)  # second frame: node 5 is back up
+        for y in topo.neighbors(5):
+            assert frame1.successes.get((5, y), 0) >= 1
+
+    def test_stochastic_outages_are_seed_deterministic(self):
+        sched = _sched()
+        topo = grid(4, 4)
+        plan = FaultPlan(seed=11, node_crash_rate=0.02,
+                         node_recover_rate=0.1, link_loss=0.1)
+
+        def run():
+            sim = Simulator(topo, sched, SaturatedTraffic(topo), faults=plan)
+            return sim.run(frames=2)
+
+        a, b = run(), run()
+        assert dict(a.successes) == dict(b.successes)
+        assert a.node_down_slots == b.node_down_slots > 0
+        assert a.link_losses == b.link_losses > 0
+
+        other = Simulator(topo, sched, SaturatedTraffic(topo),
+                          faults=FaultPlan(seed=12, node_crash_rate=0.02,
+                                           node_recover_rate=0.1,
+                                           link_loss=0.1)).run(frames=2)
+        assert dict(other.successes) != dict(a.successes)
+
+
+class TestLinkLoss:
+    def test_total_loss_kills_every_reception(self):
+        sched = _sched()
+        topo = grid(4, 4)
+        sim = Simulator(topo, sched, SaturatedTraffic(topo),
+                        faults=FaultPlan(link_loss=1.0))
+        metrics = sim.run(frames=1)
+        assert sum(metrics.successes.values()) == 0
+        assert metrics.link_losses > 0
+
+    def test_partial_loss_degrades_gracefully(self):
+        sched = _sched()
+        topo = grid(4, 4)
+        clean = Simulator(topo, sched, SaturatedTraffic(topo)).run(frames=2)
+        lossy = Simulator(topo, sched, SaturatedTraffic(topo),
+                          faults=FaultPlan(seed=1, link_loss=0.3)
+                          ).run(frames=2)
+        total_clean = sum(clean.successes.values())
+        total_lossy = sum(lossy.successes.values())
+        assert 0 < total_lossy < total_clean
+        assert total_lossy + lossy.link_losses == total_clean
+
+    def test_queued_mode_retransmits_lost_frames(self):
+        """A lost unicast stays with its sender — loss costs latency,
+        never packets (the receiver-aware requeue path)."""
+        n, d = 9, 4
+        sched = construct(tdma_schedule(n), d, 2, 4)
+        topo = grid(3, 3)
+        rng = np.random.default_rng(0)
+        traffic = PoissonTraffic(topo, 0.01, rng)
+        sim = Simulator(topo, sched, traffic,
+                        faults=FaultPlan(seed=2, link_loss=0.5))
+        metrics = sim.run(frames=30)
+        assert metrics.link_losses > 0
+        assert metrics.delivered > 0
+        # Nothing vanished: every generated packet was delivered, is
+        # dropped-by-queue-limit (none expected at this rate), or queued.
+        assert metrics.generated == \
+            metrics.delivered + metrics.dropped + sim.pending_packets
+
+    def test_inactive_plan_costs_nothing(self):
+        sched = _sched()
+        topo = grid(4, 4)
+        sim = Simulator(topo, sched, SaturatedTraffic(topo),
+                        faults=FaultPlan())
+        assert sim._faults is None
+        metrics = sim.run(frames=1)
+        assert metrics.link_losses == 0 and metrics.node_down_slots == 0

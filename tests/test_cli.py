@@ -314,3 +314,100 @@ class TestProvision:
                    "--no-cache"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestSimulateFaults:
+    def build(self, tmp_path):
+        out = tmp_path / "s.json"
+        main(["build", "-n", "16", "-d", "4", "--alpha-t", "3",
+              "--alpha-r", "6", "--family", "polynomial", "-o", str(out)])
+        return out
+
+    def test_link_loss_flag(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        capsys.readouterr()  # drop the build line
+        rc = main(["simulate", str(out), "--topology", "grid",
+                   "--nodes", "16", "-d", "4", "--frames", "2",
+                   "--link-loss", "0.3", "--fault-seed", "7"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["link_losses"] > 0
+        assert report["node_down_fraction"] == 0.0
+
+    def test_fault_plan_file_with_outage(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        plan = tmp_path / "faults.json"
+        plan.write_text(json.dumps({"node_outages": [[5, 0, None]]}))
+        capsys.readouterr()
+        rc = main(["simulate", str(out), "--topology", "grid",
+                   "--nodes", "16", "-d", "4", "--frames", "1",
+                   "--fault-plan", str(plan)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["node_down_fraction"] == pytest.approx(1 / 16)
+
+    def test_same_fault_seed_same_report(self, tmp_path, capsys):
+        out = self.build(tmp_path)
+        args = ["simulate", str(out), "--topology", "grid", "--nodes", "16",
+                "-d", "4", "--frames", "2", "--link-loss", "0.2",
+                "--node-crash-rate", "0.01", "--node-recover-rate", "0.1",
+                "--fault-seed", "3"]
+        capsys.readouterr()
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestProvisionFaults:
+    @staticmethod
+    def grid_digests():
+        from repro.core.planner import (candidate_sources,
+                                        duty_budget_fraction, duty_grid)
+        from repro.service.provision import task_from_point
+        points = duty_grid(12, 2, duty_budget_fraction(0.5),
+                           candidate_sources(12, 2))
+        return [task_from_point(p, 12, 2, False).key() for p in points]
+
+    def test_stats_flag_emits_store_json(self, tmp_path, capsys):
+        inp = tmp_path / "requests.jsonl"
+        inp.write_text('{"n": 12, "d": 2, "max_duty": 0.5}\n')
+        rc = main(["provision", "-i", str(inp), "-o",
+                   str(tmp_path / "plans.jsonl"),
+                   "--cache-dir", str(tmp_path / "cache"), "--stats"])
+        assert rc == 0
+        err = capsys.readouterr().err.splitlines()
+        assert "; store:" in err[0]
+        stats = json.loads(err[1])
+        assert stats["stores"] > 0 and stats["corruptions"] == 0
+
+    def test_lost_evaluation_degrades_with_exit_code_3(self, tmp_path,
+                                                       capsys):
+        inp = tmp_path / "requests.jsonl"
+        inp.write_text('{"n": 12, "d": 2, "max_duty": 0.5}\n')
+        victim = self.grid_digests()[0]
+        plan = tmp_path / "faults.json"
+        plan.write_text(json.dumps(
+            {"targeted_worker_faults": {victim: ["error"] * 9}}))
+        out = tmp_path / "plans.jsonl"
+        rc = main(["provision", "-i", str(inp), "-o", str(out), "--no-cache",
+                   "--no-schedules", "--max-retries", "0",
+                   "--fault-plan", str(plan)])
+        assert rc == 3
+        captured = capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["degraded"] is True
+        assert doc["failed_tasks"] == {victim: "failed"}
+        assert doc["family"]  # still answered from the survivors
+        assert "1 degraded" in captured.err
+        assert "1 failed" in captured.err
+
+    def test_malformed_fault_plan_is_an_input_error(self, tmp_path, capsys):
+        inp = tmp_path / "requests.jsonl"
+        inp.write_text('{"n": 12, "d": 2, "max_duty": 0.5}\n')
+        plan = tmp_path / "faults.json"
+        plan.write_text(json.dumps({"link_los": 0.1}))
+        rc = main(["provision", "-i", str(inp), "--no-cache",
+                   "--fault-plan", str(plan)])
+        assert rc == 2
+        assert "unknown fields" in capsys.readouterr().err
