@@ -4,16 +4,45 @@ Every benchmark regenerates one paper artefact (see DESIGN.md's experiment
 index): it times the regeneration with pytest-benchmark, asserts the
 artefact's claim, prints the regenerated table, and persists it as CSV
 under ``benchmarks/results/``.
+
+Alongside the CSV artefacts, an autouse fixture writes one
+machine-readable JSON summary per benchmark module to
+``benchmarks/results/<module>.json``::
+
+    {
+      "benchmark": "bench_provision",
+      "format": "repro-bench-summary",
+      "version": 1,
+      "results": [
+        {"name": "test_provision_batch_warm", "params": {},
+         "wall_clock_s": 1.23,
+         "headline": {"metric": "warm_batch_mean_s", "value": 0.004}},
+        ...
+      ]
+    }
+
+``wall_clock_s`` is the whole test's ``perf_counter`` duration.  The
+``headline`` metric defaults to pytest-benchmark's mean round time when
+the test used the ``benchmark`` fixture; a test can override it through
+the :func:`headline` fixture (``headline("plans_per_s", 123.4)``).  The
+file is rewritten after every test in the module, so an aborted run
+still leaves a valid partial summary.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+from collections import defaultdict
 from pathlib import Path
+from time import perf_counter
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Per-module accumulated result rows, flushed to JSON after every test.
+_SUMMARIES: dict[str, list[dict]] = defaultdict(list)
 
 
 @pytest.fixture
@@ -26,3 +55,74 @@ def report():
         sys.stdout.write("\n" + table.render() + "\n")
 
     return _report
+
+
+@pytest.fixture
+def headline():
+    """Let a benchmark name its headline metric for the JSON summary.
+
+    Usage::
+
+        def test_scale(benchmark, headline):
+            ...
+            headline("constructions_per_s", rate)
+
+    The last call wins; without any call the summary falls back to
+    pytest-benchmark's mean round time (when available).
+    """
+    slot: dict = {}
+
+    def _headline(metric: str, value: float) -> None:
+        slot["metric"] = metric
+        slot["value"] = float(value)
+
+    _headline.slot = slot
+    return _headline
+
+
+def _benchmark_headline(fixture) -> dict | None:
+    """pytest-benchmark's mean round time, when the fixture was used."""
+    try:
+        return {"metric": "benchmark_mean_s",
+                "value": float(fixture.stats.stats.mean)}
+    except Exception:  # noqa: BLE001 - stats shape varies across versions
+        return None
+
+
+def _flush_summary(module: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "benchmark": module,
+        "format": "repro-bench-summary",
+        "version": 1,
+        "results": _SUMMARIES[module],
+    }
+    (RESULTS_DIR / f"{module}.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(autouse=True)
+def _json_summary(request, headline):
+    """Time every benchmark test and append it to the module's JSON summary."""
+    # Grab the benchmark fixture object now: by our teardown it is
+    # already finalized and unavailable, but its stats survive on it.
+    bench = (request.getfixturevalue("benchmark")
+             if "benchmark" in request.fixturenames else None)
+    started = perf_counter()
+    yield
+    wall = perf_counter() - started
+    params = {}
+    callspec = getattr(request.node, "callspec", None)
+    if callspec is not None:
+        params = {k: v if isinstance(v, (int, float, str, bool)) else repr(v)
+                  for k, v in callspec.params.items()}
+    row = {
+        "name": request.node.originalname or request.node.name,
+        "params": params,
+        "wall_clock_s": round(wall, 6),
+        "headline": (dict(headline.slot) if headline.slot
+                     else _benchmark_headline(bench)),
+    }
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    _SUMMARIES[module].append(row)
+    _flush_summary(module)

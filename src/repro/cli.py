@@ -30,15 +30,42 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """The observability flags every subcommand shares (see
+    docs/observability.md): log level/format, metrics and trace export,
+    and the ``--profile`` span-summary table."""
+    obs = argparse.ArgumentParser(add_help=False)
+    group = obs.add_argument_group("observability")
+    group.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="log verbosity (default: warning; info when "
+                            "--log-format json)")
+    group.add_argument("--log-format", default="human",
+                       choices=["human", "json"],
+                       help="log line format on stderr (default human)")
+    group.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry snapshot as JSON "
+                            "here when the command finishes")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write recorded spans as JSONL here when the "
+                            "command finishes")
+    group.add_argument("--profile", action="store_true",
+                       help="print a per-span timing summary table to "
+                            "stderr when the command finishes")
+    return obs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Topology-transparent duty cycling (IPPS 2007) toolkit",
     )
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("build", help="construct a duty-cycled TT schedule")
+    p = sub.add_parser("build", parents=[obs],
+                       help="construct a duty-cycled TT schedule")
     p.add_argument("-n", type=int, required=True, help="class bound on nodes")
     p.add_argument("-d", type=int, required=True, help="class bound on degree")
     p.add_argument("--alpha-t", type=int, required=True)
@@ -50,14 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the balanced-energy divisions")
     p.add_argument("-o", "--output", required=True, help="output JSON path")
 
-    p = sub.add_parser("plan", help="pick family and budget from a duty cap")
+    p = sub.add_parser("plan", parents=[obs], help="pick family and budget from a duty cap")
     p.add_argument("-n", type=int, required=True)
     p.add_argument("-d", type=int, required=True)
     p.add_argument("--max-duty", type=float, required=True)
     p.add_argument("--balanced", action="store_true")
     p.add_argument("-o", "--output", required=True)
 
-    p = sub.add_parser("provision",
+    p = sub.add_parser("provision", parents=[obs],
                        help="batch schedule provisioning (JSONL in/out)")
     p.add_argument("-i", "--input", default="-",
                    help="JSONL request file, one {n, d, max_duty[, balanced]} "
@@ -86,18 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON fault-injection plan (chaos testing; see "
                         "docs/robustness.md for the schema)")
 
-    p = sub.add_parser("verify", help="exact transparency decision")
+    p = sub.add_parser("verify", parents=[obs], help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
     p.add_argument("-d", type=int, required=True)
 
-    p = sub.add_parser("analyze", help="throughput / duty / latency report")
+    p = sub.add_parser("analyze", parents=[obs], help="throughput / duty / latency report")
     p.add_argument("schedule")
     p.add_argument("-d", type=int, required=True)
     p.add_argument("--latency", action="store_true",
                    help="also compute the exact worst-case per-hop delay "
                         "(exponential in D; small instances only)")
 
-    p = sub.add_parser("simulate", help="run the slot simulator")
+    p = sub.add_parser("simulate", parents=[obs], help="run the slot simulator")
     p.add_argument("schedule")
     p.add_argument("--topology", default="grid",
                    choices=["grid", "ring", "unit-disk", "regular"])
@@ -126,11 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON fault-plan file; overrides the individual "
                         "fault flags (see docs/robustness.md)")
 
-    p = sub.add_parser("families", help="substrate frame-length table")
+    p = sub.add_parser("families", parents=[obs], help="substrate frame-length table")
     p.add_argument("-n", type=int, required=True)
     p.add_argument("-d", type=int, required=True)
 
-    p = sub.add_parser("report", help="markdown certification report")
+    p = sub.add_parser("report", parents=[obs], help="markdown certification report")
     p.add_argument("schedule")
     p.add_argument("-d", type=int, required=True)
     p.add_argument("--latency", action="store_true",
@@ -139,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="write markdown here instead of stdout")
 
-    p = sub.add_parser("experiment",
+    p = sub.add_parser("experiment", parents=[obs],
                        help="regenerate one paper artefact by name")
     p.add_argument("name", help="experiment function name, e.g. thm3_sweep; "
                                 "use 'list' to enumerate")
@@ -243,7 +270,10 @@ def _cmd_provision(args) -> int:
     except (OSError, ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    store = None if args.no_cache else ScheduleStore(args.cache_dir)
+    from repro.obs.metrics import default_registry
+
+    store = None if args.no_cache else ScheduleStore(
+        args.cache_dir, registry=default_registry())
     report = provision_batch_report(requests, store=store, jobs=args.jobs,
                                     runtime=runtime, faults=faults)
     results = report.results
@@ -275,7 +305,7 @@ def _cmd_provision(args) -> int:
                     f"{store.stats.evictions} evictions")
     print(summary + ")", file=sys.stderr)
     if args.stats and store is not None:
-        print(json.dumps(store.stats.to_dict()), file=sys.stderr)
+        print(json.dumps(store.stats.to_metrics_dict()), file=sys.stderr)
     # Distinct exit codes: 1 = some requests unanswered, 3 = every request
     # answered but some grid evaluations were lost to worker faults.
     if failed:
@@ -462,14 +492,62 @@ _COMMANDS = {
 }
 
 
+def _setup_observability(args):
+    """Install per-invocation observability from the global flags.
+
+    Configures the ``repro.*`` logger tree (``--log-level`` defaults to
+    ``info`` under ``--log-format json``, else ``warning``) and installs a
+    fresh metrics registry and tracer as the process defaults, so every
+    instrumented layer the command touches reports into this invocation's
+    collectors.  Returns ``(registry, tracer)`` for export at exit.
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        set_default_registry,
+        set_default_tracer,
+    )
+    from repro.obs.logging import configure as configure_logging
+
+    level = args.log_level or (
+        "info" if args.log_format == "json" else "warning")
+    configure_logging(level=level, format=args.log_format)
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    tracer = Tracer()
+    set_default_tracer(tracer)
+    return registry, tracer
+
+
+def _export_observability(args, registry, tracer) -> int:
+    """Honour ``--metrics-out`` / ``--trace-out`` / ``--profile`` at exit.
+
+    Returns 0, or 2 when an export path cannot be written.
+    """
+    try:
+        if args.metrics_out:
+            registry.write_json(args.metrics_out)
+        if args.trace_out:
+            tracer.to_jsonl(args.trace_out)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.profile:
+        print(tracer.summary_table(), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    registry, tracer = _setup_observability(args)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    export_code = _export_observability(args, registry, tracer)
+    return code or export_code
 
 
 if __name__ == "__main__":  # pragma: no cover

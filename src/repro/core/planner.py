@@ -30,6 +30,7 @@ from typing import Iterable
 
 from repro._validation import check_class_params, check_probability
 from repro.core.construction import construct_detailed
+from repro.obs.tracing import span
 from repro.core.nonsleeping import (
     mols_schedule,
     polynomial_schedule,
@@ -180,17 +181,19 @@ def evaluate_grid_point(point: GridPoint, d: int, *,
     ``(family, n, D, alpha_T, alpha_R, balanced)`` — never on the budget —
     which is what makes it a sound unit of caching and of parallel fan-out.
     """
-    res = construct_detailed(point.source, d, point.alpha_t, point.alpha_r,
-                             balanced=balanced)
-    return Plan(
-        schedule=res.schedule,
-        family=point.family,
-        alpha_t=point.alpha_t,
-        alpha_r=point.alpha_r,
-        throughput=average_throughput(res.schedule, d),
-        duty_cycle=res.schedule.average_duty_cycle(),
-        frame_length=res.schedule.frame_length,
-    )
+    with span("planner.evaluate", family=point.family,
+              alpha_t=point.alpha_t, alpha_r=point.alpha_r):
+        res = construct_detailed(point.source, d, point.alpha_t,
+                                 point.alpha_r, balanced=balanced)
+        return Plan(
+            schedule=res.schedule,
+            family=point.family,
+            alpha_t=point.alpha_t,
+            alpha_r=point.alpha_r,
+            throughput=average_throughput(res.schedule, d),
+            duty_cycle=res.schedule.average_duty_cycle(),
+            frame_length=res.schedule.frame_length,
+        )
 
 
 def select_best(candidates: Iterable[Plan]) -> Plan | None:
@@ -245,6 +248,15 @@ def plan_schedule(n: int, d: int, max_duty: float | str | Fraction, *,
     """
     n, d = check_class_params(n, d)
     budget = duty_budget_fraction(max_duty)
+    with span("planner.plan", n=n, d=d, budget=str(budget),
+              balanced=balanced):
+        return _plan_schedule(n, d, max_duty, budget, balanced=balanced,
+                              families=families, cache=cache)
+
+
+def _plan_schedule(n, d, max_duty, budget, *, balanced, families, cache):
+    """The :func:`plan_schedule` body, separated so the public entry can
+    wrap the whole search in one ``planner.plan`` span."""
     cacheable = cache is not None and families is None
     if cacheable:
         hit = cache.get_plan(n, d, budget, balanced)

@@ -1,0 +1,156 @@
+"""Structured logging: one entry point, two line formats, zero deps.
+
+Every ``repro`` module obtains its logger through :func:`get_logger`,
+which namespaces it under the ``repro.`` hierarchy so one
+:func:`configure` call controls the whole library.  Two formats:
+
+* ``human`` — ``HH:MM:SS LEVEL logger: message key=value ...`` for
+  terminals;
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``event`` plus every structured field), for pipelines and log stores.
+
+Structured fields ride the stdlib ``extra=`` mechanism::
+
+    log = get_logger("service.runtime")
+    log.info("task_completed", extra={"digest": d[:12], "status": "ok"})
+
+Until :func:`configure` is called the library stays silent (a
+``NullHandler``, the standard library-author contract); the CLI calls
+:func:`configure` exactly once per invocation from its global
+``--log-level`` / ``--log-format`` flags.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["get_logger", "configure", "JsonFormatter", "HumanFormatter",
+           "LEVELS", "FORMATS"]
+
+#: Accepted ``configure(level=...)`` names, mapped to stdlib levels.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Accepted ``configure(format=...)`` names.
+FORMATS = ("human", "json")
+
+_ROOT = "repro"
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset(vars(logging.LogRecord("", 0, "", 0, "", (), None))) \
+    | {"message", "asctime", "taskName"}
+
+
+def _fields(record: logging.LogRecord) -> dict[str, Any]:
+    """The structured ``extra=`` fields attached to a record."""
+    return {k: v for k, v in record.__dict__.items() if k not in _RESERVED}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, event, extra fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render *record* as a single sorted-key JSON line."""
+        doc: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        doc.update(_fields(record))
+        if record.exc_info:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terminal-friendly lines with ``key=value`` structured fields."""
+
+    def __init__(self) -> None:
+        """Fix the base format; structured fields are appended per record."""
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                         datefmt="%H:%M:%S")
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render *record*, appending any structured fields as key=value."""
+        line = super().format(record)
+        fields = _fields(record)
+        if fields:
+            line += " " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+        return line
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The library logger for *name*, namespaced under ``repro.``.
+
+    ``get_logger("service.runtime")`` and
+    ``get_logger("repro.service.runtime")`` name the same logger, so
+    instrumentation sites can use their dotted module suffix.
+    """
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+# The library contract: silent until configured.
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+_handler: logging.Handler | None = None
+
+
+class _CurrentStderrHandler(logging.StreamHandler):
+    """StreamHandler that re-reads ``sys.stderr`` on every emit, so
+    stream redirection (pytest capture, shell 2> swaps) always wins."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        """The *current* ``sys.stderr``, not the one at construction."""
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        """Ignore assignments; this handler always tracks sys.stderr."""
+
+
+def configure(level: str = "warning", format: str = "human",
+              stream: TextIO | None = None) -> None:
+    """Configure the whole ``repro.*`` logger tree once, replacing any
+    previous configuration (idempotent — safe to call per CLI invocation).
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LEVELS` (``debug``/``info``/``warning``/``error``).
+    format:
+        ``human`` or ``json`` (see the module docstring).
+    stream:
+        Output stream; by default the handler follows ``sys.stderr``
+        dynamically (so pytest capture and redirection always apply).
+    """
+    global _handler
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; pick from "
+                         f"{sorted(LEVELS)}")
+    if format not in FORMATS:
+        raise ValueError(f"unknown log format {format!r}; pick from "
+                         f"{sorted(FORMATS)}")
+    root = logging.getLogger(_ROOT)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = (logging.StreamHandler(stream) if stream is not None
+                else _CurrentStderrHandler())
+    _handler.setFormatter(JsonFormatter() if format == "json"
+                          else HumanFormatter())
+    root.addHandler(_handler)
+    root.setLevel(LEVELS[level])
+    root.propagate = False

@@ -1,0 +1,194 @@
+"""Span tracing: nestable timers over ``perf_counter`` with JSONL export.
+
+Where did the time go?  Instrumented code brackets each stage with::
+
+    from repro.obs.tracing import span
+
+    with span("provision.evaluate", tasks=len(tasks)):
+        ...
+
+Spans nest (the recorder tracks depth), cost two ``perf_counter`` calls
+plus one append, and land in a bounded in-memory :class:`Tracer` — old
+spans fall off the front, so tracing can stay on in long-running
+processes.  A :class:`Tracer` exports its spans to JSONL
+(:meth:`~Tracer.to_jsonl`) and aggregates them into the per-name summary
+behind the CLI's ``--profile`` table (:meth:`~Tracer.summary_table`).
+
+Like the metrics registry, a process-global default tracer serves
+un-threaded instrumentation and :func:`set_default_tracer` scopes it
+(the CLI installs a fresh tracer per invocation).  A disabled tracer
+(``Tracer(enabled=False)``) turns :meth:`~Tracer.span` into a bare
+``yield`` — the off switch for overhead-critical runs.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterator
+
+from repro._validation import check_int
+
+__all__ = ["SpanRecord", "Tracer", "span", "default_tracer",
+           "set_default_tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        The span's dotted stage name (``provision.evaluate``, ...).
+    start_s:
+        ``perf_counter`` timestamp at entry (monotonic, process-local —
+        meaningful for ordering and deltas, not wall-clock).
+    duration_s:
+        Seconds between entry and exit.
+    depth:
+        Nesting depth at entry (0 = top level).
+    attrs:
+        The keyword attributes the instrumentation site attached.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    attrs: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one JSONL line)."""
+        return {"name": self.name, "start_s": self.start_s,
+                "duration_s": self.duration_s, "depth": self.depth,
+                "attrs": self.attrs}
+
+
+class Tracer:
+    """A bounded recorder of finished spans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained spans; beyond it the *oldest* spans are dropped
+        (:attr:`dropped` counts them) so memory stays bounded.
+    enabled:
+        When False, :meth:`span` yields immediately and records nothing.
+    """
+
+    def __init__(self, capacity: int = 10_000, *, enabled: bool = True):
+        self.capacity = check_int(capacity, "capacity", minimum=1)
+        self.enabled = enabled
+        self.spans: list[SpanRecord] = []
+        self.dropped = 0
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Time a stage: ``with tracer.span("planner.evaluate", n=20): ...``
+
+        Records a :class:`SpanRecord` on exit (also when the body
+        raises — the exception propagates, the duration is kept).
+        """
+        if not self.enabled:
+            yield
+            return
+        depth = self._depth
+        self._depth = depth + 1
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            duration = perf_counter() - start
+            self._depth = depth
+            self._record(SpanRecord(name, start, duration, depth, attrs))
+
+    def _record(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+        if len(self.spans) > self.capacity:
+            excess = len(self.spans) - self.capacity
+            del self.spans[:excess]
+            self.dropped += excess
+
+    def clear(self) -> None:
+        """Forget every recorded span (the drop counter too)."""
+        self.spans.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write one JSON object per span, in record order — the same
+        line-delimited convention as
+        :meth:`repro.simulation.trace.TraceRecorder.to_jsonl`."""
+        with Path(path).open("w") as fh:
+            for record in self.spans:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate spans by name: count, total/mean/min/max seconds."""
+        out: dict[str, dict[str, float]] = {}
+        for record in self.spans:
+            agg = out.get(record.name)
+            if agg is None:
+                out[record.name] = {
+                    "count": 1, "total_s": record.duration_s,
+                    "min_s": record.duration_s, "max_s": record.duration_s,
+                }
+            else:
+                agg["count"] += 1
+                agg["total_s"] += record.duration_s
+                agg["min_s"] = min(agg["min_s"], record.duration_s)
+                agg["max_s"] = max(agg["max_s"], record.duration_s)
+        for agg in out.values():
+            agg["mean_s"] = agg["total_s"] / agg["count"]
+        return out
+
+    def summary_table(self) -> str:
+        """Fixed-width rendering of :meth:`summary` (the ``--profile``
+        output), sorted by total time descending."""
+        rows = sorted(self.summary().items(),
+                      key=lambda item: -item[1]["total_s"])
+        headers = ("span", "count", "total_s", "mean_s", "min_s", "max_s")
+        body = [(name, f"{agg['count']:.0f}", f"{agg['total_s']:.6f}",
+                 f"{agg['mean_s']:.6f}", f"{agg['min_s']:.6f}",
+                 f"{agg['max_s']:.6f}") for name, agg in rows]
+        widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+                  for i, h in enumerate(headers)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.dropped:
+            lines.append(f"({self.dropped} oldest spans dropped at "
+                         f"capacity {self.capacity})")
+        return "\n".join(lines)
+
+
+_default = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-global tracer instrumentation falls back to."""
+    return _default
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the process-global default; returns the old one."""
+    global _default
+    old, _default = _default, tracer
+    return old
+
+
+def span(name: str, **attrs: Any):
+    """A span on the *current* default tracer (module-level convenience).
+
+    Instrumentation sites call this; scoping which tracer collects is
+    the caller's job via :func:`set_default_tracer`.
+    """
+    return _default.span(name, **attrs)

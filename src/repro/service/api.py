@@ -40,6 +40,7 @@ from repro.core.planner import (
 )
 from repro.core.serialization import schedule_to_dict
 from repro.faults import FaultPlan
+from repro.obs.tracing import span
 from repro.service.provision import task_from_point
 from repro.service.runtime import RuntimeConfig, TaskReport, execute_tasks
 from repro.service.store import ScheduleStore, StoreStats
@@ -286,57 +287,62 @@ def provision_batch_report(requests: Iterable[ProvisionRequest], *,
     pending: dict[tuple, _Pending] = {}
     tasks = []
     grids: dict[tuple[int, int], list] = {}
-    for sig in signatures:
-        if sig is None or sig in resolved or sig in pending:
-            continue
-        n, d, budget, balanced = sig
-        if store is not None:
-            hit = store.get_plan(n, d, budget, balanced)
-            if hit is not None:
-                resolved[sig] = (hit, True)
+    with span("provision.plan", requests=len(requests)):
+        for sig in signatures:
+            if sig is None or sig in resolved or sig in pending:
                 continue
-        if (n, d) not in grids:
-            grids[(n, d)] = candidate_sources(n, d)
-        work = _Pending(n, d, budget, balanced)
-        for point in duty_grid(n, d, budget, grids[(n, d)]):
-            task = task_from_point(point, n, d, balanced)
-            digest = task.key()
-            work.digests.append(digest)
-            plan = None
+            n, d, budget, balanced = sig
             if store is not None:
-                plan = store.get_eval(point.family, n, d, point.alpha_t,
-                                      point.alpha_r, balanced)
-            if plan is not None:
-                work.cached[digest] = plan
-            else:
-                tasks.append(task)
-        pending[sig] = work
+                hit = store.get_plan(n, d, budget, balanced)
+                if hit is not None:
+                    resolved[sig] = (hit, True)
+                    continue
+            if (n, d) not in grids:
+                grids[(n, d)] = candidate_sources(n, d)
+            work = _Pending(n, d, budget, balanced)
+            for point in duty_grid(n, d, budget, grids[(n, d)]):
+                task = task_from_point(point, n, d, balanced)
+                digest = task.key()
+                work.digests.append(digest)
+                plan = None
+                if store is not None:
+                    plan = store.get_eval(point.family, n, d, point.alpha_t,
+                                          point.alpha_r, balanced)
+                if plan is not None:
+                    work.cached[digest] = plan
+                else:
+                    tasks.append(task)
+            pending[sig] = work
 
     # The fault-tolerant runtime: individual futures, retry/backoff,
     # broken-pool recovery, and checkpointing of every completed
     # evaluation straight into the store (so an interrupted batch
     # resumes warm — cache lookups above already reap old checkpoints).
-    outcome = execute_tasks(tasks, config=config, store=store, faults=faults)
+    with span("provision.evaluate", tasks=len(tasks), jobs=config.jobs):
+        outcome = execute_tasks(tasks, config=config, store=store,
+                                faults=faults)
     fresh = outcome.plans
 
     lost: dict[tuple, list[tuple[str, str]]] = {}
-    for sig, work in pending.items():
-        candidates = []
-        for digest in work.digests:
-            plan = work.cached.get(digest) or fresh.get(digest)
-            if plan is None:  # evaluation lost to a worker fault
-                report = outcome.reports[digest]
-                lost.setdefault(sig, []).append((digest, report.status))
-                continue
-            if plan.duty_cycle <= work.budget:
-                candidates.append(plan)
-        best = select_best(candidates)
-        resolved[sig] = (best, False)
-        # Degraded winners are never cached: with the full grid they
-        # might lose to one of the lost points, and a poisoned cache
-        # would outlive the fault.
-        if best is not None and store is not None and sig not in lost:
-            store.put_plan(work.n, work.d, work.budget, work.balanced, best)
+    with span("provision.store", signatures=len(pending)):
+        for sig, work in pending.items():
+            candidates = []
+            for digest in work.digests:
+                plan = work.cached.get(digest) or fresh.get(digest)
+                if plan is None:  # evaluation lost to a worker fault
+                    report = outcome.reports[digest]
+                    lost.setdefault(sig, []).append((digest, report.status))
+                    continue
+                if plan.duty_cycle <= work.budget:
+                    candidates.append(plan)
+            best = select_best(candidates)
+            resolved[sig] = (best, False)
+            # Degraded winners are never cached: with the full grid they
+            # might lose to one of the lost points, and a poisoned cache
+            # would outlive the fault.
+            if best is not None and store is not None and sig not in lost:
+                store.put_plan(work.n, work.d, work.budget, work.balanced,
+                               best)
 
     results: list[ProvisionResult] = []
     for i, (request, sig) in enumerate(zip(requests, signatures)):

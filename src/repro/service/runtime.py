@@ -36,14 +36,25 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
 
 from repro._validation import check_int
 from repro.core.planner import GridPoint, Plan, evaluate_grid_point
 from repro.faults import FaultPlan
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["RuntimeConfig", "TaskReport", "RuntimeResult", "execute_tasks",
            "STATUS_OK", "STATUS_RETRIED", "STATUS_TIMED_OUT",
            "STATUS_FAILED", "STATUS_QUARANTINED", "TERMINAL_STATUSES"]
+
+_log = get_logger("service.runtime")
+
+#: Bucket layout shared by the parent- and worker-side duration
+#: histograms, so worker snapshots merge bucket-for-bucket.
+_DURATION_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                     0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
 
 #: Task completed cleanly on its first attempt.
 STATUS_OK = "ok"
@@ -134,6 +145,16 @@ class TaskReport:
         pool deaths it was blamed for.
     error:
         Final failure description for unsuccessful statuses.
+    duration_s:
+        Wall-clock seconds of the *successful* attempt's evaluation
+        (measured worker-side in pool mode); 0.0 when the task never
+        completed.
+    worker_metrics:
+        The worker's metric-delta snapshot
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) for the
+        successful attempt, already merged into the parent registry by
+        :func:`execute_tasks`; None in inline mode (the parent recorded
+        directly).
     """
 
     digest: str
@@ -141,6 +162,8 @@ class TaskReport:
     attempts: int = 0
     fault_count: int = 0
     error: str | None = None
+    duration_s: float = 0.0
+    worker_metrics: dict[str, Any] | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -186,6 +209,45 @@ class RuntimeResult:
 
 
 # ----------------------------------------------------------------------
+# instrumentation
+# ----------------------------------------------------------------------
+class _Instruments:
+    """Bound metric series of one :func:`execute_tasks` run."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.completed = registry.counter(
+            "repro_runtime_tasks_completed_total",
+            "Grid-evaluation tasks finished, by terminal status.")
+        self.retries = registry.counter(
+            "repro_runtime_retries_total",
+            "Retry attempts scheduled after a charged fault.").labels()
+        self.timeouts = registry.counter(
+            "repro_runtime_timeouts_total",
+            "Task attempts that exceeded the per-task timeout.").labels()
+        self.quarantines = registry.counter(
+            "repro_runtime_quarantines_total",
+            "Tasks isolated after repeatedly killing the pool.").labels()
+        self.rebuilds = registry.counter(
+            "repro_runtime_pool_rebuilds_total",
+            "Worker-pool teardowns and rebuilds (crashes + hangs).").labels()
+        self.queue_wait = registry.histogram(
+            "repro_runtime_task_queue_wait_seconds",
+            "Seconds a task waited between becoming ready and being "
+            "submitted to a worker.", buckets=_DURATION_BUCKETS).labels()
+        self.exec = registry.histogram(
+            "repro_runtime_task_exec_seconds",
+            "Wall-clock seconds of one task evaluation (worker-side in "
+            "pool mode).", buckets=_DURATION_BUCKETS).labels()
+
+    def finish(self, result: RuntimeResult) -> None:
+        """Record terminal statuses; totals reconcile with
+        :meth:`RuntimeResult.summary` by construction."""
+        for status, count in result.summary().items():
+            self.completed.labels(status=status).inc(count)
+
+
+# ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 def _evaluate(task) -> Plan:
@@ -195,13 +257,18 @@ def _evaluate(task) -> Plan:
 
 
 def _worker(task, fault: str | None, hang_seconds: float,
-            slow_seconds: float) -> tuple[str, Plan]:
+            slow_seconds: float) -> tuple[str, Plan, float, dict]:
     """Pool entry point: apply any injected fault, then evaluate.
 
     Module-level so the pool can pickle it by reference.  ``crash`` kills
     the process outright (the BrokenProcessPool path), ``hang`` sleeps
     long enough to trip the per-task timeout, ``slow`` adds latency,
     ``error`` raises — the four failure modes the runtime must absorb.
+
+    Returns ``(digest, plan, duration_s, metrics_snapshot)``: the
+    evaluation is timed worker-side and recorded into a private
+    registry whose snapshot the parent merges, so per-worker metric
+    deltas survive the process boundary.
     """
     if fault == "crash":
         os._exit(13)
@@ -212,7 +279,18 @@ def _worker(task, fault: str | None, hang_seconds: float,
     elif fault == "error":
         raise RuntimeError(
             f"injected worker error for task {task.key()[:12]}")
-    return task.key(), _evaluate(task)
+    registry = MetricsRegistry()
+    start = perf_counter()
+    plan = _evaluate(task)
+    duration = perf_counter() - start
+    registry.histogram(
+        "repro_runtime_task_exec_seconds",
+        "Wall-clock seconds of one task evaluation (worker-side in "
+        "pool mode).", buckets=_DURATION_BUCKETS).observe(duration)
+    registry.counter(
+        "repro_runtime_worker_evaluations_total",
+        "Evaluations completed inside pool workers.").inc()
+    return task.key(), plan, duration, registry.snapshot()
 
 
 def _checkpoint(store, task, plan: Plan) -> None:
@@ -240,7 +318,8 @@ def _teardown_pool(pool: ProcessPoolExecutor) -> None:
 # driver side
 # ----------------------------------------------------------------------
 def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
-                  store=None, faults: FaultPlan | None = None
+                  store=None, faults: FaultPlan | None = None,
+                  registry: MetricsRegistry | None = None
                   ) -> RuntimeResult:
     """Run every task to a terminal status; never raise for a task fault.
 
@@ -259,6 +338,13 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
         Optional :class:`~repro.faults.FaultPlan` whose worker-side
         injections (crash/hang/slow/error) are applied per attempt — the
         hook the crash-path tests and chaos benchmarks use.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` collecting
+        the runtime's counters and duration histograms (see
+        docs/observability.md for the catalog); default: the process
+        default registry.  Worker-side metric deltas are merged in and
+        the terminal-status counters reconcile exactly with
+        :meth:`RuntimeResult.summary`.
 
     Returns
     -------
@@ -266,6 +352,8 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
         Plans for every survivor plus a :class:`TaskReport` per task.
     """
     config = config or RuntimeConfig()
+    instruments = _Instruments(registry if registry is not None
+                               else default_registry())
     distinct: dict[str, object] = {}
     for task in tasks:
         distinct.setdefault(task.key(), task)
@@ -273,15 +361,26 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
         reports={digest: TaskReport(digest) for digest in distinct})
     if not distinct:
         return result
+    _log.info("batch_started", extra={
+        "tasks": len(distinct), "jobs": config.jobs,
+        "task_timeout": config.task_timeout,
+        "max_retries": config.max_retries})
+    start = perf_counter()
     if config.jobs == 1:
-        _run_inline(distinct, config, store, faults, result)
+        _run_inline(distinct, config, store, faults, result, instruments)
     else:
-        _run_pool(distinct, config, store, faults, result)
+        _run_pool(distinct, config, store, faults, result, instruments)
+    instruments.finish(result)
+    _log.info("batch_finished", extra={
+        "tasks": len(distinct), "duration_s": round(perf_counter() - start, 6),
+        "pool_rebuilds": result.pool_rebuilds,
+        **{f"status_{k}": v for k, v in sorted(result.summary().items())}})
     return result
 
 
 def _run_inline(distinct, config: RuntimeConfig, store,
-                faults: FaultPlan | None, result: RuntimeResult) -> None:
+                faults: FaultPlan | None, result: RuntimeResult,
+                instruments: _Instruments) -> None:
     """The ``jobs=1`` path: no pool, same statuses and retry policy.
 
     Inline, a ``crash`` injection degrades to an error (there is no
@@ -303,34 +402,53 @@ def _run_inline(distinct, config: RuntimeConfig, store,
                 if fault == "slow" and faults is not None:
                     time.sleep(faults.slow_seconds)
                 try:
+                    start = perf_counter()
                     plan = _evaluate(task)
+                    duration = perf_counter() - start
                 except Exception as exc:
                     kind, error = "error", f"{type(exc).__name__}: {exc}"
             if kind is None:
                 result.plans[digest] = plan
                 report.status = (STATUS_RETRIED if report.fault_count
                                  else STATUS_OK)
+                report.duration_s = duration
+                instruments.exec.observe(duration)
                 _checkpoint(store, task, plan)
+                _log.info("task_completed", extra={
+                    "digest": digest[:12], "status": report.status,
+                    "attempts": report.attempts,
+                    "duration_s": round(duration, 6)})
                 break
             report.fault_count += 1
             report.error = error
+            if kind == "timeout":
+                instruments.timeouts.inc()
             if report.fault_count > config.max_retries:
                 report.status = (STATUS_TIMED_OUT if kind == "timeout"
                                  else STATUS_FAILED)
                 if kind == "timeout":
                     report.error = "injected hang (inline mode times out " \
                                    "immediately)"
+                _log.warning("task_failed", extra={
+                    "digest": digest[:12], "status": report.status,
+                    "attempts": report.attempts, "error": report.error})
                 break
+            instruments.retries.inc()
+            _log.warning("task_retrying", extra={
+                "digest": digest[:12], "attempts": report.attempts,
+                "fault_count": report.fault_count, "error": error})
             time.sleep(config.backoff_delay(digest, report.fault_count,
                                             faults))
 
 
 def _run_pool(distinct, config: RuntimeConfig, store,
-              faults: FaultPlan | None, result: RuntimeResult) -> None:
+              faults: FaultPlan | None, result: RuntimeResult,
+              instruments: _Instruments) -> None:
     """The ``jobs>1`` path: individual futures over a rebuildable pool."""
     width = min(config.jobs, len(distinct))
     pool = ProcessPoolExecutor(max_workers=width)
     ready: deque[str] = deque(distinct)
+    enqueued_at: dict[str, float] = {d: time.monotonic() for d in distinct}
     retry_at: dict[str, float] = {}
     solo: deque[str] = deque()          # bisection queue: run one at a time
     inflight: dict[Future, tuple[str, float]] = {}
@@ -343,13 +461,25 @@ def _run_pool(distinct, config: RuntimeConfig, store,
         report = result.reports[digest]
         report.status = status
         report.error = error
+        if status == STATUS_QUARANTINED:
+            instruments.quarantines.inc()
+        _log.warning("task_failed", extra={
+            "digest": digest[:12], "status": status,
+            "attempts": report.attempts, "error": error})
 
-    def succeed(digest: str, plan: Plan) -> None:
+    def succeed(digest: str, plan: Plan, duration: float,
+                worker_snapshot: dict) -> None:
         nonlocal solo_digest
         report = result.reports[digest]
         result.plans[digest] = plan
         report.status = STATUS_RETRIED if report.fault_count else STATUS_OK
+        report.duration_s = duration
+        report.worker_metrics = worker_snapshot
+        instruments.registry.merge(worker_snapshot)
         _checkpoint(store, distinct[digest], plan)
+        _log.info("task_completed", extra={
+            "digest": digest[:12], "status": report.status,
+            "attempts": report.attempts, "duration_s": round(duration, 6)})
         if solo_digest == digest:
             solo_digest = None
 
@@ -359,18 +489,27 @@ def _run_pool(distinct, config: RuntimeConfig, store,
         report = result.reports[digest]
         report.fault_count += 1
         report.error = error
+        if kind == "timeout":
+            instruments.timeouts.inc()
         if solo_digest == digest:
             solo_digest = None
         if report.fault_count > config.max_retries:
             finalize(digest, STATUS_TIMED_OUT if kind == "timeout"
                      else STATUS_FAILED, error)
         else:
+            instruments.retries.inc()
+            _log.warning("task_retrying", extra={
+                "digest": digest[:12], "attempts": report.attempts,
+                "fault_count": report.fault_count, "error": error})
             retry_at[digest] = time.monotonic() + config.backoff_delay(
                 digest, report.fault_count, faults)
 
     def rebuild_pool() -> None:
         nonlocal pool
         result.pool_rebuilds += 1
+        instruments.rebuilds.inc()
+        _log.warning("pool_rebuilt", extra={
+            "rebuilds": result.pool_rebuilds, "width": width})
         _teardown_pool(pool)
         pool = ProcessPoolExecutor(max_workers=width)
 
@@ -380,6 +519,7 @@ def _run_pool(distinct, config: RuntimeConfig, store,
         victims = [digest for digest, _ in inflight.values()]
         inflight.clear()
         rebuild_pool()
+        now = time.monotonic()
         for digest in victims:
             blame[digest] = blame.get(digest, 0) + 1
             report = result.reports[digest]
@@ -394,6 +534,7 @@ def _run_pool(distinct, config: RuntimeConfig, store,
                     solo.append(digest)  # suspicious: isolate and re-run
             else:
                 ready.append(digest)
+                enqueued_at[digest] = now
         solo_digest = None
 
     def submit(digest: str) -> bool:
@@ -408,7 +549,10 @@ def _run_pool(distinct, config: RuntimeConfig, store,
             ready.appendleft(digest)
             return False
         report.attempts += 1
-        inflight[future] = (digest, time.monotonic())
+        now = time.monotonic()
+        instruments.queue_wait.observe(
+            max(0.0, now - enqueued_at.get(digest, now)))
+        inflight[future] = (digest, now)
         return True
 
     try:
@@ -418,6 +562,7 @@ def _run_pool(distinct, config: RuntimeConfig, store,
                 if when <= now:
                     del retry_at[digest]
                     ready.append(digest)
+                    enqueued_at[digest] = now
 
             # Fill the pool — or, when the regular queue has drained,
             # bisect one suspect at a time.
@@ -450,8 +595,8 @@ def _run_pool(distinct, config: RuntimeConfig, store,
                     continue  # every sibling future is poisoned too
                 digest, _started = inflight.pop(future)
                 if exc is None:
-                    _key, plan = future.result()
-                    succeed(digest, plan)
+                    _key, plan, duration, snapshot = future.result()
+                    succeed(digest, plan, duration, snapshot)
                 else:
                     charge(digest, "error",
                            f"{type(exc).__name__}: {exc}")
@@ -479,5 +624,6 @@ def _run_pool(distinct, config: RuntimeConfig, store,
                                    f"{config.task_timeout}s")
                         else:
                             ready.append(digest)
+                            enqueued_at[digest] = now
     finally:
         _teardown_pool(pool)

@@ -36,7 +36,6 @@ import hashlib
 import json
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
 from typing import Any
@@ -48,6 +47,10 @@ from repro.core.serialization import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+_log = get_logger("service.store")
 
 __all__ = ["ScheduleStore", "StoreStats", "eval_key", "plan_key",
            "key_digest", "default_cache_dir"]
@@ -98,9 +101,16 @@ def key_digest(key: dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-@dataclass
 class StoreStats:
-    """Counters describing how a :class:`ScheduleStore` has been used.
+    """A view over the store's registry counters, API-compatible with the
+    old bespoke arithmetic.
+
+    The numbers now live in :class:`repro.obs.metrics.MetricsRegistry`
+    series (``repro_store_lookups_total{result=...}``,
+    ``repro_store_writes_total``, ``repro_store_corruptions_total``,
+    ``repro_store_evictions_total``) so one ``--metrics-out`` file
+    carries them alongside every other subsystem; this class reads those
+    series back as the familiar attributes.
 
     Attributes
     ----------
@@ -122,18 +132,94 @@ class StoreStats:
         diagnosis without digging through logs.
     """
 
-    memory_hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    corruptions: int = 0
-    evictions: int = 0
-    last_corruption: str | None = None
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        """Bind the view (and its counter series) to *registry*.
+
+        With ``registry=None`` a private registry is created, so every
+        :class:`ScheduleStore` keeps isolated statistics by default;
+        pass a shared registry (the CLI passes its per-invocation one)
+        to surface the counters in an exported snapshot.
+        """
+        self.registry = registry if registry is not None else MetricsRegistry()
+        lookups = self.registry.counter(
+            "repro_store_lookups_total",
+            "Schedule-store lookups by result "
+            "(memory_hit / disk_hit / miss).")
+        self._memory_hits = lookups.labels(result="memory_hit")
+        self._disk_hits = lookups.labels(result="disk_hit")
+        self._misses = lookups.labels(result="miss")
+        self._stores = self.registry.counter(
+            "repro_store_writes_total", "Schedule-store entries written."
+        ).labels()
+        self._corruptions = self.registry.counter(
+            "repro_store_corruptions_total",
+            "Cache entries that existed but failed to load.").labels()
+        self._evictions = self.registry.counter(
+            "repro_store_evictions_total",
+            "Corrupt cache entries removed during a failed load.").labels()
+        self.last_corruption: str | None = None
+
+    # -- properties the historical dataclass exposed ---------------------
+    @property
+    def memory_hits(self) -> int:
+        """Lookups served by the in-memory LRU front."""
+        return int(self._memory_hits.value)
+
+    @property
+    def disk_hits(self) -> int:
+        """Lookups served by parsing an on-disk entry."""
+        return int(self._disk_hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing usable (corrupt loads included)."""
+        return int(self._misses.value)
+
+    @property
+    def stores(self) -> int:
+        """Entries written (evals, plans and checkpoints alike)."""
+        return int(self._stores.value)
+
+    @property
+    def corruptions(self) -> int:
+        """Entries that existed but failed to load."""
+        return int(self._corruptions.value)
+
+    @property
+    def evictions(self) -> int:
+        """Corrupt entries actually unlinked."""
+        return int(self._evictions.value)
 
     @property
     def hits(self) -> int:
         """Total lookups served from either layer."""
         return self.memory_hits + self.disk_hits
+
+    # -- recording (ScheduleStore-facing) --------------------------------
+    def record_memory_hit(self) -> None:
+        """Count a lookup served by the LRU front."""
+        self._memory_hits.inc()
+
+    def record_disk_hit(self) -> None:
+        """Count a lookup served by an on-disk entry."""
+        self._disk_hits.inc()
+
+    def record_miss(self) -> None:
+        """Count a lookup that found nothing."""
+        self._misses.inc()
+
+    def record_store(self) -> None:
+        """Count an entry written."""
+        self._stores.inc()
+
+    def record_corruption(self, description: str) -> None:
+        """Count a corrupt load (also remembered in `last_corruption`)."""
+        self._corruptions.inc()
+        self.last_corruption = description
+
+    def record_eviction(self) -> None:
+        """Count a corrupt entry actually unlinked."""
+        self._evictions.inc()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot of every counter.
@@ -152,6 +238,26 @@ class StoreStats:
             "last_corruption": self.last_corruption,
         }
 
+    def to_metrics_dict(self) -> dict[str, Any]:
+        """The ``repro provision --stats`` document (see docs/observability.md).
+
+        Routed through the metrics exporter: the ``metrics`` key holds the
+        registry snapshot restricted to the store's ``repro_store_*``
+        series (same shape as a :meth:`MetricsRegistry.snapshot`), while
+        the historical flat keys (``hits``/``misses``/``stores``/...)
+        remain at top level as aliases for existing consumers.
+        """
+        snap = self.registry.snapshot()
+        doc = self.to_dict()
+        doc["metrics"] = {
+            "format": snap["format"],
+            "version": snap["version"],
+            "counters": {name: series
+                         for name, series in snap["counters"].items()
+                         if name.startswith("repro_store_")},
+        }
+        return doc
+
 
 class ScheduleStore:
     """Persistent schedule cache with an in-memory LRU front.
@@ -163,17 +269,22 @@ class ScheduleStore:
     """
 
     def __init__(self, cache_dir: str | Path | None = None, *,
-                 memory_slots: int = 256) -> None:
+                 memory_slots: int = 256,
+                 registry: MetricsRegistry | None = None) -> None:
         """Create a store rooted at *cache_dir* (default: XDG cache).
 
         *memory_slots* bounds the LRU front; 0 disables it (every hit
-        reparses from disk — useful only for tests).
+        reparses from disk — useful only for tests).  *registry* is the
+        metrics registry the store's counters live in; None (default)
+        gives the store a private registry so its :attr:`stats` stay
+        isolated — pass a shared one to export them with
+        ``--metrics-out``.
         """
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.memory_slots = check_int(memory_slots, "memory_slots", minimum=0)
         self._memory: OrderedDict[str, Plan] = OrderedDict()
-        self.stats = StoreStats()
+        self.stats = StoreStats(registry)
 
     # ------------------------------------------------------------------
     # the cache protocol
@@ -232,29 +343,30 @@ class ScheduleStore:
         digest = key_digest(key)
         if digest in self._memory:
             self._memory.move_to_end(digest)
-            self.stats.memory_hits += 1
+            self.stats.record_memory_hit()
             return self._memory[digest]
         path = self.cache_dir / digest[:2] / f"{digest}.json"
         try:
             doc = json.loads(path.read_text())
             plan = self._decode(doc, key)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         except Exception as exc:
             # A bad cache entry is evicted and recomputed, never fatal —
             # but never silently either: the stats record what happened.
-            self.stats.corruptions += 1
-            self.stats.misses += 1
-            self.stats.last_corruption = \
-                f"{path.name}: {type(exc).__name__}: {exc}"
+            self.stats.record_corruption(
+                f"{path.name}: {type(exc).__name__}: {exc}")
+            self.stats.record_miss()
+            _log.warning("store_corrupt_entry", extra={
+                "entry": path.name, "reason": f"{type(exc).__name__}: {exc}"})
             try:
                 path.unlink()
-                self.stats.evictions += 1
+                self.stats.record_eviction()
             except OSError:  # pragma: no cover - concurrent removal
                 pass
             return None
-        self.stats.disk_hits += 1
+        self.stats.record_disk_hit()
         self._remember(digest, plan)
         return plan
 
@@ -266,7 +378,7 @@ class ScheduleStore:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
         os.replace(tmp, path)
-        self.stats.stores += 1
+        self.stats.record_store()
         self._remember(digest, plan)
 
     def _remember(self, digest: str, plan: Plan) -> None:

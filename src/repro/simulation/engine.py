@@ -34,12 +34,15 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro._validation import check_int, check_probability
 from repro.core.schedule import Schedule
 from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import span
 from repro.simulation.drift import ClockDrift
 from repro.simulation.energy import EnergyAccount, EnergyModel, RadioState
 from repro.simulation.metrics import Metrics
@@ -91,6 +94,12 @@ class Simulator:
         robustness probe only.
     rng:
         Random source for the capture lottery.
+    registry:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` receiving the
+        simulator's observability series (collision/link-loss counters and
+        a slots-per-second gauge); defaults to the process-global registry.
+        Series update once per :meth:`run` frame — never per slot — so the
+        hot path stays untouched.
     faults:
         Optional :class:`repro.faults.FaultPlan`.  Crashed nodes neither
         transmit, listen nor sense (their queues survive a reboot); clean
@@ -108,6 +117,7 @@ class Simulator:
                  idle_transmitters_sleep: bool = True,
                  capture_probability: float = 0.0,
                  rng: np.random.Generator | None = None,
+                 registry: MetricsRegistry | None = None,
                  faults: FaultPlan | None = None) -> None:
         if topology.n > schedule.n:
             raise ValueError(
@@ -141,6 +151,21 @@ class Simulator:
         self._elig_cache: dict[int, tuple[list[bool], list[bool]]] = {}
         # Radio wakeup accounting: who was awake last slot.
         self._was_awake = [False] * topology.n
+        # Observability: registry series updated per frame from Metrics
+        # deltas (the per-slot hot path never touches the registry).
+        reg = registry if registry is not None else default_registry()
+        self._obs_collisions = reg.counter(
+            "repro_sim_collisions_total",
+            "Receiver-side collisions observed by the simulator.").labels()
+        self._obs_losses = reg.counter(
+            "repro_sim_link_losses_total",
+            "Clean receptions destroyed by injected link loss.").labels()
+        self._obs_rate = reg.gauge(
+            "repro_sim_slots_per_second",
+            "Simulated slots per wall-clock second, last run() call."
+        ).labels()
+        self._counted_collisions = 0
+        self._counted_losses = 0
 
     def _eligibility(self, slot: int) -> tuple[list[bool], list[bool]]:
         """Per-node (tx_eligible, listening) flags for this true slot."""
@@ -317,18 +342,42 @@ class Simulator:
         self._slot += 1
         self.metrics.slots = self._slot
 
+    def _flush_observability(self, slots: int, elapsed: float) -> None:
+        """Publish Metrics deltas to the registry (once per frame/run)."""
+        collisions = self.metrics.total_collisions()
+        self._obs_collisions.inc(collisions - self._counted_collisions)
+        self._counted_collisions = collisions
+        losses = self.metrics.link_losses
+        self._obs_losses.inc(losses - self._counted_losses)
+        self._counted_losses = losses
+        if elapsed > 0.0:
+            self._obs_rate.set(slots / elapsed)
+
     def run(self, frames: int) -> Metrics:
-        """Simulate *frames* whole schedule frames; returns the metrics."""
+        """Simulate *frames* whole schedule frames; returns the metrics.
+
+        Each frame is bracketed in a ``sim.frame`` span, and the
+        collision/link-loss counters plus the slots-per-second gauge
+        update from :class:`Metrics` deltas at frame boundaries.
+        """
         frames = check_int(frames, "frames", minimum=1)
-        for _ in range(frames * self.schedule.frame_length):
-            self.step()
+        length = self.schedule.frame_length
+        started = perf_counter()
+        for frame in range(frames):
+            with span("sim.frame", frame=frame, slots=length):
+                for _ in range(length):
+                    self.step()
+            self._flush_observability(frames * length,
+                                      perf_counter() - started)
         return self.metrics
 
     def run_slots(self, slots: int) -> Metrics:
         """Simulate an exact number of slots (not necessarily whole frames)."""
         slots = check_int(slots, "slots", minimum=1)
+        started = perf_counter()
         for _ in range(slots):
             self.step()
+        self._flush_observability(slots, perf_counter() - started)
         return self.metrics
 
     @property

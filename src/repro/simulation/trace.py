@@ -5,12 +5,14 @@ slot-by-slot story.  :class:`TraceRecorder` hooks into a
 :class:`~repro.simulation.engine.Simulator` (post-step polling — the
 engine needs no changes) and records, per slot: who transmitted, who
 listened, which receptions succeeded and which collided.  Traces are
-bounded ring buffers and export to CSV.
+bounded ring buffers and export to CSV or JSONL (the latter round-trips
+through :meth:`TraceRecorder.read_jsonl`).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,6 +32,24 @@ class SlotEvent:
     listeners: tuple[int, ...]
     successes: tuple[tuple[int, int], ...]   # (src, dst)
     collisions: tuple[int, ...]              # receivers that heard >= 2
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (one :meth:`TraceRecorder.to_jsonl` line)."""
+        return {"slot": self.slot,
+                "transmitters": list(self.transmitters),
+                "listeners": list(self.listeners),
+                "successes": [list(link) for link in self.successes],
+                "collisions": list(self.collisions)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SlotEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        return cls(slot=int(doc["slot"]),
+                   transmitters=tuple(doc["transmitters"]),
+                   listeners=tuple(doc["listeners"]),
+                   successes=tuple((src, dst)
+                                   for src, dst in doc["successes"]),
+                   collisions=tuple(doc["collisions"]))
 
 
 class TraceRecorder:
@@ -121,3 +141,21 @@ class TraceRecorder:
                     " ".join(f"{s}->{d}" for s, d in e.successes),
                     " ".join(map(str, e.collisions)),
                 ])
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Export the trace as JSON lines: one :meth:`SlotEvent.to_dict`
+        object per slot, in slot order — the lossless counterpart of
+        :meth:`to_csv` (ids stay integers, links stay pairs)."""
+        with Path(path).open("w") as fh:
+            for e in self.events:
+                fh.write(json.dumps(e.to_dict(), sort_keys=True) + "\n")
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[SlotEvent]:
+        """Load the events a :meth:`to_jsonl` export wrote, in order."""
+        events = []
+        with Path(path).open() as fh:
+            for line in fh:
+                if line.strip():
+                    events.append(SlotEvent.from_dict(json.loads(line)))
+        return events

@@ -1,0 +1,105 @@
+"""Structured logging: formats, configuration, the library contract."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    FORMATS,
+    HumanFormatter,
+    JsonFormatter,
+    LEVELS,
+    configure,
+    get_logger,
+)
+
+
+@pytest.fixture
+def isolated_root():
+    """Snapshot and restore the ``repro`` root logger around a test."""
+    root = logging.getLogger("repro")
+    state = (root.level, list(root.handlers), root.propagate)
+    yield root
+    root.setLevel(state[0])
+    root.handlers[:] = state[1]
+    root.propagate = state[2]
+
+
+class TestGetLogger:
+    def test_names_are_namespaced_under_repro(self):
+        assert get_logger("service.store").name == "repro.service.store"
+        assert get_logger("repro.service.store") is \
+            get_logger("service.store")
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError):
+            configure(level="loud")
+        with pytest.raises(ValueError):
+            configure(format="xml")
+        assert set(LEVELS) == {"debug", "info", "warning", "error"}
+        assert FORMATS == ("human", "json")
+
+    def test_json_lines_carry_structured_fields(self, isolated_root):
+        stream = io.StringIO()
+        configure(level="info", format="json", stream=stream)
+        get_logger("unit.test").info(
+            "task_completed", extra={"digest": "abc123", "attempts": 2})
+        doc = json.loads(stream.getvalue())
+        assert doc["event"] == "task_completed"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.unit.test"
+        assert doc["digest"] == "abc123"
+        assert doc["attempts"] == 2
+        assert isinstance(doc["ts"], float)
+
+    def test_human_lines_append_key_values(self, isolated_root):
+        stream = io.StringIO()
+        configure(level="info", format="human", stream=stream)
+        get_logger("unit.test").warning(
+            "store_corrupt", extra={"entry": "x.json"})
+        line = stream.getvalue().strip()
+        assert "WARNING" in line
+        assert "repro.unit.test: store_corrupt" in line
+        assert "entry=x.json" in line
+
+    def test_level_filters(self, isolated_root):
+        stream = io.StringIO()
+        configure(level="warning", format="human", stream=stream)
+        log = get_logger("unit.test")
+        log.info("quiet")
+        log.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_reconfigure_replaces_the_handler(self, isolated_root):
+        first, second = io.StringIO(), io.StringIO()
+        configure(level="info", format="human", stream=first)
+        configure(level="info", format="human", stream=second)
+        get_logger("unit.test").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+
+class TestFormatters:
+    def _record(self, **extra):
+        record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                                   "an_event", (), None)
+        for key, value in extra.items():
+            setattr(record, key, value)
+        return record
+
+    def test_json_formatter_sorts_keys(self):
+        out = JsonFormatter().format(self._record(zeta=1, alpha=2))
+        doc = json.loads(out)
+        keys = list(doc)
+        assert keys == sorted(keys)
+        assert doc["alpha"] == 2 and doc["zeta"] == 1
+
+    def test_human_formatter_without_extras_is_plain(self):
+        line = HumanFormatter().format(self._record())
+        assert line.endswith("repro.x: an_event")

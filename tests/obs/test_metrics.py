@@ -1,0 +1,179 @@
+"""The metrics registry: instruments, snapshots, merge, exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_totals(self):
+        reg = MetricsRegistry()
+        lookups = reg.counter("lookups_total", "Lookups by result.")
+        hits = lookups.labels(result="hit")
+        hits.inc()
+        hits.inc(2)
+        lookups.inc(result="miss")
+        assert lookups.value(result="hit") == 3
+        assert lookups.value(result="miss") == 1
+        assert lookups.value(result="never") == 0
+        assert lookups.total() == 4
+
+    def test_counters_only_go_up(self):
+        series = MetricsRegistry().counter("c").labels()
+        with pytest.raises(ValueError):
+            series.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(5.0)
+        gauge.set(2.5)
+        assert gauge.value() == 2.5
+
+    def test_histogram_buckets_observations(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        series = hist.labels()
+        for value in (0.05, 0.1, 0.5, 5.0, 50.0):
+            series.observe(value)
+        # cumulative semantics: le=0.1 catches 0.05 and 0.1 exactly
+        assert series.counts == [2, 1, 1, 1]
+        assert series.count == 5
+        assert series.sum == pytest.approx(55.65)
+
+    def test_histogram_validates_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("b", buckets=(1.0, 1.0))
+
+    def test_accessors_are_idempotent_and_kind_checked(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        assert reg.names() == ["x"]
+        assert reg.get("x").kind == "counter"
+        assert reg.get("missing") is None
+
+
+class TestSnapshotMerge:
+    def _worker_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_total", "Tasks.").labels(status="ok").inc(3)
+        reg.gauge("rate").labels().set(7.0)
+        reg.histogram("exec_s", buckets=(0.1, 1.0)).labels().observe(0.05)
+        return reg
+
+    def test_snapshot_is_self_describing_json(self):
+        snap = self._worker_registry().snapshot()
+        assert snap["format"] == SNAPSHOT_FORMAT
+        assert snap["version"] == SNAPSHOT_VERSION
+        json.dumps(snap)  # plain data, no custom types
+        assert snap["counters"]["tasks_total"]["series"] == [
+            {"labels": {"status": "ok"}, "value": 3.0}]
+        hist = snap["histograms"]["exec_s"]
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["series"][0]["counts"] == [1, 0, 0]
+
+    def test_merge_adds_counters_and_buckets(self):
+        parent = MetricsRegistry()
+        parent.counter("tasks_total").labels(status="ok").inc(1)
+        parent.merge(self._worker_registry().snapshot())
+        parent.merge(self._worker_registry().snapshot())
+        assert parent.counter("tasks_total").value(status="ok") == 7
+        series = parent.histogram("exec_s").labels()
+        assert series.counts == [2, 0, 0]
+        assert series.count == 2
+        # gauges take the incoming value instead of adding
+        assert parent.gauge("rate").value() == 7.0
+
+    def test_merge_matches_jobs1_totals(self):
+        # The process-pool contract: merging N worker snapshots equals
+        # recording every event in one registry.
+        inline = MetricsRegistry()
+        merged = MetricsRegistry()
+        for _ in range(4):
+            inline.counter("tasks_total", "Tasks.") \
+                .labels(status="ok").inc(3)
+            inline.histogram("exec_s", buckets=(0.1, 1.0)) \
+                .labels().observe(0.05)
+            merged.merge(self._worker_registry().snapshot())
+        inline_doc = inline.snapshot()
+        merged_doc = merged.snapshot()
+        assert inline_doc["counters"] == merged_doc["counters"]
+        assert inline_doc["histograms"] == merged_doc["histograms"]
+
+    def test_merge_rejects_foreign_documents(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.merge({"format": "something-else"})
+        with pytest.raises(ValueError):
+            reg.merge({"format": SNAPSHOT_FORMAT, "version": 99})
+
+    def test_merge_rejects_bucket_mismatch(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(0.5,)).labels().observe(0.1)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+
+class TestExports:
+    def test_write_json_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c", "help text").labels(kind="a").inc(2)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        doc = json.loads(path.read_text())
+        assert doc == reg.snapshot()
+
+    def test_snapshot_passes_the_shipped_validator(self, tmp_path):
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path(__file__).parents[2] / "tools"))
+        try:
+            from validate_metrics import validate
+        finally:
+            sys.path.pop(0)
+        reg = MetricsRegistry()
+        reg.counter("c", "help").labels(status="ok").inc()
+        reg.gauge("g", "help").labels().set(1.0)
+        reg.histogram("h", "help").labels().observe(0.2)
+        assert validate(reg.snapshot()) == []
+        assert validate({"format": "nope"}) != []
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests.").labels(code="200").inc(5)
+        reg.histogram("lat", buckets=(0.1, 1.0)).labels().observe(0.05)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{code="200"} 5' in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum" in text and "lat_count" in text
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestDefaultRegistry:
+    def test_set_default_registry_swaps_and_returns_old(self):
+        mine = MetricsRegistry()
+        old = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+        finally:
+            set_default_registry(old)
+        assert default_registry() is old

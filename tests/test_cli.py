@@ -411,3 +411,110 @@ class TestProvisionFaults:
                    "--fault-plan", str(plan)])
         assert rc == 2
         assert "unknown fields" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    """The global --log-*/--metrics-out/--trace-out/--profile flags."""
+
+    REQUESTS = '{"n": 12, "d": 2, "max_duty": 0.5}\n'
+
+    def provision(self, tmp_path, *extra):
+        inp = tmp_path / "requests.jsonl"
+        inp.write_text(self.REQUESTS)
+        return main(["provision", "-i", str(inp),
+                     "-o", str(tmp_path / "plans.jsonl"),
+                     "--cache-dir", str(tmp_path / "cache"), *extra])
+
+    def test_metrics_out_writes_valid_reconciling_snapshot(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        assert self.provision(tmp_path, "--jobs", "2",
+                              "--metrics-out", str(metrics)) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["format"] == "repro-metrics" and doc["version"] == 1
+        completed = doc["counters"]["repro_runtime_tasks_completed_total"]
+        total = sum(s["value"] for s in completed["series"])
+        assert total > 0
+        # every evaluated task landed in the store (plus the plan entry)
+        writes = doc["counters"]["repro_store_writes_total"]["series"][0]
+        assert writes["value"] == total + 1
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+        try:
+            from validate_metrics import validate
+        finally:
+            sys.path.pop(0)
+        assert validate(doc) == []
+
+    def test_trace_out_and_profile_cover_the_stages(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert self.provision(tmp_path, "--trace-out", str(trace),
+                              "--profile") == 0
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines() if line}
+        assert {"provision.plan", "provision.evaluate",
+                "provision.store"} <= names
+        # jobs=1 evaluates inline, so per-grid-point planner spans appear
+        assert "planner.evaluate" in names
+        err = capsys.readouterr().err
+        assert "provision.evaluate" in err  # the --profile table
+        assert "total_s" in err
+
+    def test_json_log_format_emits_lifecycle_events(self, tmp_path, capsys):
+        assert self.provision(tmp_path, "--log-format", "json") == 0
+        events = []
+        for line in capsys.readouterr().err.splitlines():
+            try:
+                events.append(json.loads(line)["event"])
+            except (json.JSONDecodeError, KeyError):
+                continue  # the human summary line
+        assert "batch_started" in events
+        assert "task_completed" in events
+        assert "batch_finished" in events
+
+    def test_log_level_silences_lifecycle_events(self, tmp_path, capsys):
+        assert self.provision(tmp_path, "--log-format", "json",
+                              "--log-level", "error") == 0
+        assert "task_completed" not in capsys.readouterr().err
+
+    def test_stats_routes_through_the_metrics_exporter(self, tmp_path,
+                                                       capsys):
+        assert self.provision(tmp_path, "--stats") == 0
+        stats = json.loads(capsys.readouterr().err.splitlines()[1])
+        # legacy aliases stay flat; the exporter view rides alongside
+        assert stats["stores"] > 0
+        inner = stats["metrics"]
+        assert inner["format"] == "repro-metrics"
+        writes = inner["counters"]["repro_store_writes_total"]["series"][0]
+        assert writes["value"] == stats["stores"]
+
+    def test_metrics_out_unwritable_path_is_an_error(self, tmp_path, capsys):
+        rc = self.provision(tmp_path, "--metrics-out",
+                            str(tmp_path / "missing" / "m.json"))
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_flags_exist_on_other_commands(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        metrics = tmp_path / "m.json"
+        rc = main(["plan", "-n", "12", "-d", "2", "--max-duty", "0.5",
+                   "-o", str(out), "--metrics-out", str(metrics),
+                   "--profile"])
+        assert rc == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["format"] == "repro-metrics"
+        assert "planner.plan" in capsys.readouterr().err
+
+    def test_simulate_exports_engine_metrics(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        assert main(["build", "-n", "16", "-d", "4", "--alpha-t", "2",
+                     "--alpha-r", "4", "-o", str(out)]) == 0
+        metrics = tmp_path / "m.json"
+        rc = main(["simulate", str(out), "--topology", "grid",
+                   "--nodes", "16", "-d", "4", "--frames", "2",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        doc = json.loads(metrics.read_text())
+        assert "repro_sim_collisions_total" in doc["counters"]
+        rate = doc["gauges"]["repro_sim_slots_per_second"]["series"][0]
+        assert rate["value"] > 0

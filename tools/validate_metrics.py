@@ -1,0 +1,124 @@
+"""Validate a ``--metrics-out`` snapshot against the documented schema.
+
+Usage::
+
+    python tools/validate_metrics.py metrics.json
+
+Checks the structural contract of :meth:`repro.obs.metrics.MetricsRegistry.
+snapshot` as documented in docs/observability.md — the format/version
+header, the three metric sections, and the per-series shapes (labels are
+string->string, counters/gauges carry ``value``, histograms carry a
+metric-level ``buckets`` list and per-series ``count``/``counts``/``sum``
+with ``len(counts) == len(buckets) + 1`` for the +Inf bucket).
+CI runs it over the snapshot a tiny ``repro provision`` emits; the unit
+tests import :func:`validate` directly.
+
+Exit codes: 0 valid, 1 invalid (problems on stderr), 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+EXPECTED_FORMAT = "repro-metrics"
+EXPECTED_VERSION = 1
+
+
+def _series_errors(name: str, kind: str, metric: dict) -> list[str]:
+    """Validate one metric's ``series`` list; returns problem strings."""
+    problems: list[str] = []
+    series = metric.get("series")
+    if not isinstance(series, list):
+        return [f"{name}: 'series' must be a list, got {type(series).__name__}"]
+    buckets = metric.get("buckets")
+    if kind == "histograms" and (
+            not isinstance(buckets, list)
+            or not all(isinstance(b, (int, float)) for b in buckets)):
+        problems.append(f"{name}: 'buckets' must be a numeric list")
+        buckets = None
+    for i, entry in enumerate(series):
+        where = f"{name}.series[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        labels = entry.get("labels")
+        if not isinstance(labels, dict) or \
+                not all(isinstance(k, str) and isinstance(v, str)
+                        for k, v in labels.items()):
+            problems.append(f"{where}: 'labels' must map strings to strings")
+        if kind in ("counters", "gauges"):
+            if not isinstance(entry.get("value"), (int, float)):
+                problems.append(f"{where}: missing numeric 'value'")
+        else:  # histograms
+            counts = entry.get("counts")
+            if not isinstance(counts, list) or \
+                    not all(isinstance(c, int) for c in counts):
+                problems.append(f"{where}: 'counts' must be an integer list")
+            elif buckets is not None and len(counts) != len(buckets) + 1:
+                problems.append(
+                    f"{where}: len(counts)={len(counts)} != "
+                    f"len(buckets)+1={len(buckets) + 1}")
+            if not isinstance(entry.get("count"), int):
+                problems.append(f"{where}: missing integer 'count'")
+            if not isinstance(entry.get("sum"), (int, float)):
+                problems.append(f"{where}: missing numeric 'sum'")
+    return problems
+
+
+def validate(doc: object) -> list[str]:
+    """All schema violations in *doc* (empty list == valid snapshot)."""
+    if not isinstance(doc, dict):
+        return [f"snapshot must be a JSON object, got {type(doc).__name__}"]
+    problems: list[str] = []
+    if doc.get("format") != EXPECTED_FORMAT:
+        problems.append(f"'format' must be {EXPECTED_FORMAT!r}, "
+                        f"got {doc.get('format')!r}")
+    if doc.get("version") != EXPECTED_VERSION:
+        problems.append(f"'version' must be {EXPECTED_VERSION}, "
+                        f"got {doc.get('version')!r}")
+    for kind in ("counters", "gauges", "histograms"):
+        section = doc.get(kind)
+        if not isinstance(section, dict):
+            problems.append(f"missing '{kind}' object")
+            continue
+        for name, metric in section.items():
+            if not isinstance(metric, dict):
+                problems.append(f"{name}: must be an object")
+                continue
+            if not isinstance(metric.get("help"), str):
+                problems.append(f"{name}: missing 'help' string")
+            problems.extend(_series_errors(name, kind, metric))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: validate each path argument; 0 iff all valid."""
+    if not argv:
+        print("usage: validate_metrics.py SNAPSHOT.json [...]",
+              file=sys.stderr)
+        return 2
+    code = 0
+    for arg in argv:
+        try:
+            doc = json.loads(Path(arg).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{arg}: unreadable: {exc}", file=sys.stderr)
+            return 2
+        problems = validate(doc)
+        for problem in problems:
+            print(f"{arg}: {problem}", file=sys.stderr)
+            code = 1
+        if not problems:
+            counters = sum(len(m.get("series", []))
+                           for m in doc["counters"].values())
+            print(f"{arg}: valid ({len(doc['counters'])} counters, "
+                  f"{len(doc['gauges'])} gauges, "
+                  f"{len(doc['histograms'])} histograms; "
+                  f"{counters} counter series)")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))
