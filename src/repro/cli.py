@@ -13,6 +13,10 @@ writing Python:
 ``analyze``    throughput/duty/latency report for a schedule file
 ``simulate``   run the slot simulator on a generated topology
 ``families``   frame-length table of every substrate family for (n, D)
+``serve``      always-on asyncio schedule server (HTTP/JSON): hot cache,
+               request coalescing, admission control, ``/metrics``
+``call``       client for a running server: health, provision, plan,
+               metrics scrape
 =============  =============================================================
 
 Every command reads/writes the versioned JSON format of
@@ -112,6 +116,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", default=None,
                    help="JSON fault-injection plan (chaos testing; see "
                         "docs/robustness.md for the schema)")
+
+    p = sub.add_parser("serve", parents=[obs],
+                       help="run the always-on schedule server (HTTP/JSON)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8177,
+                   help="listen port; 0 binds an ephemeral port "
+                        "(default 8177)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="hot worker-pool width: provisioning requests "
+                        "evaluating concurrently (default 2)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="admission bound; beyond it requests get an "
+                        "explicit 503 overloaded (default 64)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="per-request processing deadline in seconds; "
+                        "0 disables (default 30)")
+    p.add_argument("--cache-dir", default=None,
+                   help="schedule-store root (default: "
+                        "$XDG_CACHE_HOME/repro/schedules)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a persistent schedule store")
+    p.add_argument("--ready-file", default=None, metavar="PATH",
+                   help="write '<host> <port>' here once the listener is "
+                        "bound (for scripts; works with --port 0)")
+
+    p = sub.add_parser("call", parents=[obs],
+                       help="call a running schedule server")
+    p.add_argument("action", choices=["health", "provision", "plan",
+                                      "metrics"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-attempt socket timeout in seconds (default 60)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="extra attempts for connection failures and "
+                        "overloaded/draining responses (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the retry-backoff jitter (reproducible "
+                        "load tests)")
+    p.add_argument("-i", "--input", default="-",
+                   help="provision: JSONL request file ('-' = stdin)")
+    p.add_argument("-o", "--output", default="-",
+                   help="provision: JSONL result path ('-' = stdout); "
+                        "plan: write the flashable schedule JSON here")
+    p.add_argument("--no-schedules", action="store_true",
+                   help="provision: omit slot tables from result lines")
+    p.add_argument("-n", type=int, default=None, help="plan: class bound n")
+    p.add_argument("-d", type=int, default=None, help="plan: class bound D")
+    p.add_argument("--max-duty", default=None,
+                   help="plan: duty budget (float or 'p/q')")
+    p.add_argument("--balanced", action="store_true",
+                   help="plan: balanced-energy divisions")
+    p.add_argument("--json", action="store_true",
+                   help="metrics: fetch the repro-metrics JSON snapshot "
+                        "instead of the Prometheus text")
 
     p = sub.add_parser("verify", parents=[obs], help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
@@ -315,6 +375,124 @@ def _cmd_provision(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from repro.obs.metrics import default_registry
+    from repro.serve.server import ScheduleServer, ServeConfig
+    from repro.service.store import ScheduleStore
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, jobs=args.jobs,
+            max_inflight=args.max_inflight,
+            request_deadline_s=args.deadline if args.deadline > 0 else None)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = default_registry()
+    store = None if args.no_cache else ScheduleStore(
+        args.cache_dir, registry=registry)
+
+    async def _run() -> None:
+        server = ScheduleServer(config, store=store, registry=registry)
+        host, port = await server.start()
+        print(f"serving on http://{host}:{port} "
+              f"(jobs={config.jobs}, max_inflight={config.max_inflight})",
+              file=sys.stderr, flush=True)
+        if args.ready_file:
+            # Written atomically so a polling script never reads half a
+            # line; the file appearing means the listener is accepting.
+            tmp = Path(f"{args.ready_file}.tmp")
+            tmp.write_text(f"{host} {port}\n")
+            tmp.replace(args.ready_file)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, server.begin_drain)
+        await server.wait_closed()
+        print("drained; exiting", file=sys.stderr)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_call(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+    from repro.service.api import ProvisionRequest
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout,
+                         retries=args.retries, seed=args.seed)
+    try:
+        if args.action == "health":
+            print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.action == "metrics":
+            if args.json:
+                print(json.dumps(client.metrics_snapshot(), indent=2,
+                                 sort_keys=True))
+            else:
+                sys.stdout.write(client.metrics_text())
+            return 0
+        if args.action == "plan":
+            if args.n is None or args.d is None or args.max_duty is None:
+                print("error: call plan needs -n, -d and --max-duty",
+                      file=sys.stderr)
+                return 2
+            max_duty: float | str = args.max_duty
+            if "/" not in max_duty:
+                max_duty = float(max_duty)
+            doc = client.plan(args.n, args.d, max_duty,
+                              balanced=args.balanced,
+                              include_schedule=args.output != "-")
+            if args.output != "-" and "schedule" in doc:
+                with open(args.output, "w") as fh:
+                    json.dump(doc.pop("schedule"), fh, indent=1)
+                print(f"wrote {args.output}", file=sys.stderr)
+            print(json.dumps(doc, indent=2))
+            return 1 if "error" in doc else 0
+        # provision: same JSONL in/out contract as `repro provision`.
+        if args.input == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = open(args.input).read().splitlines()
+        requests = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                requests.append(ProvisionRequest.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError) as exc:
+                print(f"error: {args.input}:{lineno}: {exc}", file=sys.stderr)
+                return 2
+        docs = client.provision(requests,
+                                include_schedules=not args.no_schedules)
+        out_lines = [json.dumps(doc) for doc in docs]
+        text = "\n".join(out_lines) + ("\n" if out_lines else "")
+        if args.output == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+        failed = sum(1 for doc in docs if "error" in doc)
+        degraded = sum(1 for doc in docs if doc.get("degraded"))
+        print(f"provisioned {len(docs) - failed}/{len(docs)} requests via "
+              f"{args.host}:{args.port}"
+              + (f"; {degraded} degraded" if degraded else ""),
+              file=sys.stderr)
+        if failed:
+            return 1
+        return 3 if degraded else 0
+    except ServeError as exc:
+        print(f"error: server {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 4
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_verify(args) -> int:
     from repro.core.serialization import load_schedule
     from repro.core.transparency import (
@@ -483,6 +661,8 @@ _COMMANDS = {
     "build": _cmd_build,
     "plan": _cmd_plan,
     "provision": _cmd_provision,
+    "serve": _cmd_serve,
+    "call": _cmd_call,
     "verify": _cmd_verify,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,

@@ -337,10 +337,22 @@ class MetricsRegistry:
         Path(path).write_text(self.to_json() + "\n")
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (for scrape endpoints)."""
+        """The Prometheus text exposition format (for scrape endpoints).
+
+        Label values are escaped per the exposition format (backslash,
+        double quote and newline), and HELP text escapes backslash and
+        newline — arbitrary request-derived labels always scrape clean.
+        """
+
+        def esc_label(value: str) -> str:
+            return (value.replace("\\", r"\\").replace('"', r"\"")
+                    .replace("\n", r"\n"))
+
+        def esc_help(text: str) -> str:
+            return text.replace("\\", r"\\").replace("\n", r"\n")
 
         def fmt_labels(labels, extra: str = "") -> str:
-            parts = [f'{k}="{v}"' for k, v in labels]
+            parts = [f'{k}="{esc_label(v)}"' for k, v in labels]
             if extra:
                 parts.append(extra)
             return "{" + ",".join(parts) + "}" if parts else ""
@@ -348,7 +360,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, metric in self._metrics.items():
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {esc_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if metric.kind in ("counter", "gauge"):
                 for s in metric.series():

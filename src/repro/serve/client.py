@@ -1,0 +1,209 @@
+"""Synchronous client for the schedule server, with seeded retry/backoff.
+
+The counterpart of :mod:`repro.serve.server`, built on stdlib
+``http.client`` only.  Used by ``repro call``, the acceptance tests and
+the loopback load benchmark — one implementation of the retry policy so
+every consumer behaves identically.
+
+Retry policy: connection-level failures (refused, reset, timed out
+sockets) and responses carrying a code in
+:data:`repro.serve.protocol.RETRYABLE_CODES` (``overloaded``,
+``draining``) are retried up to *retries* times with exponential backoff.
+The backoff jitter is **seeded** via the same
+:meth:`repro.faults.FaultPlan.backoff_jitter` draw the fault-tolerant
+runtime uses — two clients with the same seed back off identically, so a
+load test's retry storm is byte-reproducible.  Anything else (``400``,
+``404``, ``504``...) raises :class:`ServeError` immediately: retrying a
+request the server *rejected* cannot help.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro._validation import check_int
+from repro.faults import FaultPlan
+from repro.serve import protocol
+from repro.service.api import ProvisionRequest, ProvisionResult
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request that failed after every retry.
+
+    Attributes
+    ----------
+    status:
+        HTTP status of the final response, or 0 when no response was
+        ever received (connection-level failure).
+    code:
+        The protocol error code of the final response (see
+        :mod:`repro.serve.protocol`), or ``"unavailable"`` when the
+        server could not be reached at all.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.server.ScheduleServer`.
+
+    Thread-compatible: every call opens its own connection, so one
+    client instance may be shared across load-generator threads.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177, *,
+                 timeout: float = 60.0, retries: int = 3,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 seed: int = 0) -> None:
+        """Configure the endpoint and the retry/backoff schedule.
+
+        *retries* counts extra attempts beyond the first; retry ``k``
+        waits ``min(cap, base * 2**(k-1))`` seconds scaled by the seeded
+        jitter in ``[0.5, 1.5)``.
+        """
+        self.host = host
+        self.port = check_int(port, "port", minimum=1)
+        self.timeout = timeout
+        self.retries = check_int(retries, "retries", minimum=0)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._jitter = FaultPlan(seed=seed)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def backoff_delay(self, path: str, attempt: int) -> float:
+        """Seconds to sleep before retry *attempt* (1-based) of *path*."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * 2.0 ** max(0, attempt - 1))
+        return base * self._jitter.backoff_jitter(path, attempt)
+
+    def request(self, method: str, path: str,
+                body: dict[str, Any] | None = None) -> tuple[int, bytes, str]:
+        """One HTTP exchange with retries; returns
+        ``(status, body_bytes, content_type)`` of the final response.
+
+        Raises :class:`ServeError` when the final outcome is a
+        connection failure or a retryable error code that never cleared.
+        Non-retryable error responses are returned, not raised — callers
+        that want exceptions use :meth:`call`.
+        """
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        last_exc: OSError | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_delay(path, attempt))
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                             timeout=self.timeout)
+            try:
+                conn.request(method, path, body=payload,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                data = response.read()
+                status = response.status
+                content_type = response.getheader("Content-Type", "")
+            except (OSError, http.client.HTTPException) as exc:
+                last_exc = exc if isinstance(exc, OSError) \
+                    else OSError(str(exc))
+                continue
+            finally:
+                conn.close()
+            if _error_code(status, data) in protocol.RETRYABLE_CODES \
+                    and attempt < self.retries:
+                continue
+            return status, data, content_type
+        raise ServeError(0, "unavailable",
+                         f"{self.host}:{self.port} unreachable after "
+                         f"{self.retries + 1} attempts: {last_exc}")
+
+    def call(self, method: str, path: str,
+             body: dict[str, Any] | None = None) -> dict[str, Any]:
+        """A JSON exchange; returns the parsed response document.
+
+        Raises :class:`ServeError` for any non-200 outcome, carrying the
+        server's versioned error code.
+        """
+        status, data, _content_type = self.request(method, path, body)
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = None
+        if status == 200 and isinstance(doc, dict):
+            return doc
+        code = _error_code(status, data) or "unavailable"
+        message = "unparseable response body"
+        if isinstance(doc, dict):
+            message = str(doc.get("error", {}).get("message", message))
+        raise ServeError(status, code, message)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz`` — serving/draining state and inflight count."""
+        return self.call("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition."""
+        status, data, _ct = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, _error_code(status, data) or "internal",
+                             "metrics endpoint failed")
+        return data.decode("utf-8")
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """``GET /metrics.json`` — the ``repro-metrics`` snapshot."""
+        return self.call("GET", "/metrics.json")
+
+    def provision(self, requests: list[ProvisionRequest | dict[str, Any]], *,
+                  include_schedules: bool = True) -> list[dict[str, Any]]:
+        """``POST /provision`` — returns the raw result documents.
+
+        Result lines have exactly the shape ``repro provision`` writes;
+        parse them with :meth:`ProvisionResult.from_dict` (requires
+        ``include_schedules=True`` for successful results).
+        """
+        docs = [r.to_dict() if isinstance(r, ProvisionRequest) else r
+                for r in requests]
+        doc = self.call("POST", "/provision", {
+            "requests": docs, "include_schedules": include_schedules})
+        return doc["results"]
+
+    def provision_results(self, requests: list[ProvisionRequest
+                                               | dict[str, Any]]
+                          ) -> list[ProvisionResult]:
+        """:meth:`provision`, parsed back into :class:`ProvisionResult`."""
+        return [ProvisionResult.from_dict(doc)
+                for doc in self.provision(requests, include_schedules=True)]
+
+    def plan(self, n: int, d: int, max_duty: float | str, *,
+             balanced: bool = False,
+             include_schedule: bool = True) -> dict[str, Any]:
+        """``POST /plan`` — one request, one raw result document."""
+        doc = self.call("POST", "/plan", {
+            "n": n, "d": d, "max_duty": max_duty, "balanced": balanced,
+            "include_schedule": include_schedule})
+        return doc["result"]
+
+
+def _error_code(status: int, data: bytes) -> str | None:
+    """The protocol error code of a response, or None for non-errors."""
+    if status == 200:
+        return None
+    try:
+        doc = json.loads(data.decode("utf-8"))
+        code = doc["error"]["code"]
+    except Exception:  # noqa: BLE001 - any malformed body: no code
+        return None
+    return code if isinstance(code, str) else None

@@ -1,0 +1,485 @@
+"""The asyncio schedule server: admission control, deadlines, drain.
+
+One process, four endpoints, no dependencies beyond the stdlib:
+
+=====================  =================================================
+``POST /provision``    answer a batch of ``(n, D, duty)`` requests
+                       (coalesced per signature, backed by the hot
+                       store and worker pool)
+``POST /plan``         single-request convenience form of the same
+``GET /healthz``       liveness + serving/draining state + inflight
+``GET /metrics``       Prometheus text exposition of the registry
+``GET /metrics.json``  the same registry as a ``repro-metrics`` snapshot
+                       (validates with ``tools/validate_metrics.py``)
+=====================  =================================================
+
+Three properties the one-shot CLI cannot offer, each load-bearing:
+
+* **Warm state.**  One :class:`~repro.service.store.ScheduleStore` and
+  one worker pool (a thread pool of ``jobs`` planner slots) live for the
+  process lifetime; the cache and the LRU front survive across requests.
+* **Admission control.**  At most ``max_inflight`` provisioning requests
+  are admitted at once — ``jobs`` of them execute, the rest wait in a
+  bounded queue of ``max_inflight - jobs``.  A request beyond the bound
+  is answered *immediately* with ``503 overloaded`` instead of queueing
+  unboundedly; a client with backoff gets strictly better tail latency
+  than an unbounded queue would give it.  Ops endpoints (``/healthz``,
+  ``/metrics``) bypass admission so the server stays observable while
+  saturated.
+* **Graceful drain.**  SIGTERM (or :meth:`ScheduleServer.begin_drain`)
+  flips the server into draining: new provisioning work is refused with
+  ``503 draining``, every admitted request runs to completion, then the
+  listener closes and :meth:`ScheduleServer.wait_closed` returns.
+
+Per-request deadlines (``request_deadline_s``) bound the time a caller
+can be held: past the deadline the response is ``504
+deadline-exceeded``.  The underlying planner thread is not preempted
+(Python threads cannot be), but its result still lands in the store, so
+the abandoned work is not wasted — the retry hits the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace as dc_replace
+from time import perf_counter
+from typing import Any, Callable
+
+from repro._validation import check_int
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import span
+from repro.serve import protocol
+from repro.serve.coalesce import Coalescer
+from repro.service.api import (
+    ProvisionRequest,
+    ProvisionResult,
+    provision_batch_report,
+)
+from repro.service.store import ScheduleStore
+
+__all__ = ["ServeConfig", "ScheduleServer", "BackgroundServer"]
+
+_log = get_logger("serve.server")
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+#: Seconds a connection may take to deliver its request head and body
+#: before the server hangs up (slow-client protection).
+_READ_TIMEOUT_S = 10.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one :class:`ScheduleServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address; port 0 binds an ephemeral port (the bound one is
+        readable as :attr:`ScheduleServer.port` after ``start()``).
+    jobs:
+        Width of the hot worker pool — provisioning requests evaluating
+        concurrently.  Admitted requests beyond *jobs* wait for a slot.
+    max_inflight:
+        Admission bound: provisioning requests admitted at once
+        (executing + queued).  Beyond it, ``503 overloaded``.
+    request_deadline_s:
+        Per-request processing budget in seconds; ``None`` disables.
+    max_body_bytes:
+        Largest request body accepted; beyond it, ``413``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    jobs: int = 2
+    max_inflight: int = 64
+    request_deadline_s: float | None = 30.0
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        check_int(self.port, "port", minimum=0)
+        check_int(self.jobs, "jobs", minimum=1)
+        check_int(self.max_inflight, "max_inflight", minimum=0)
+        check_int(self.max_body_bytes, "max_body_bytes", minimum=1)
+        if self.request_deadline_s is not None \
+                and self.request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be positive or None")
+
+
+class ScheduleServer:
+    """One serving process: hot store, hot pool, coalesced planning.
+
+    Lifecycle: ``await start()`` binds the listener; ``await
+    wait_closed()`` blocks until a drain completes; ``begin_drain()``
+    (signal-handler safe) or ``await drain()`` initiates shutdown.
+
+    *plan_fn* is the per-request computation — by default one
+    single-request :func:`~repro.service.api.provision_batch_report`
+    against the hot store.  Tests inject counting or blocking fakes here
+    to pin down coalescing, overload and drain behaviour
+    deterministically.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *,
+                 store: ScheduleStore | None = None,
+                 registry: MetricsRegistry | None = None,
+                 plan_fn: Callable[[ProvisionRequest], ProvisionResult]
+                 | None = None) -> None:
+        """Build a server (not yet listening; call :meth:`start`)."""
+        self.config = config if config is not None else ServeConfig()
+        self.store = store
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self._plan_fn = plan_fn if plan_fn is not None else self._plan_one
+        self._coalescer = Coalescer(self.registry)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.jobs,
+            thread_name_prefix="repro-serve-plan")
+        self._active = 0
+        self._draining = False
+        self._drained: asyncio.Event | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+        self._requests = self.registry.counter(
+            "repro_serve_requests_total",
+            "HTTP requests answered, by endpoint and outcome code.")
+        self._latency = self.registry.histogram(
+            "repro_serve_request_seconds",
+            "Wall-clock seconds from request head to response flush.")
+        self._inflight_gauge = self.registry.gauge(
+            "repro_serve_inflight",
+            "Provisioning requests currently admitted.").labels()
+        self._computed = self.registry.counter(
+            "repro_serve_plans_computed_total",
+            "Planner evaluations actually run (post-coalescing).").labels()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener; returns the concrete ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        _log.info("serve_started", extra={
+            "host": self.host, "port": self.port, "jobs": self.config.jobs,
+            "max_inflight": self.config.max_inflight})
+        return self.host, self.port
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has been initiated."""
+        return self._draining
+
+    @property
+    def active(self) -> int:
+        """Provisioning requests currently admitted."""
+        return self._active
+
+    def begin_drain(self) -> None:
+        """Initiate shutdown (signal-handler safe, idempotent).
+
+        New provisioning requests are refused with ``503 draining``; the
+        listener closes once every admitted request has been answered.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        _log.info("serve_draining", extra={"inflight": self._active})
+        if self._active == 0 and self._drained is not None:
+            self._drained.set()
+
+    async def drain(self) -> None:
+        """:meth:`begin_drain`, then block until fully closed."""
+        self.begin_drain()
+        await self.wait_closed()
+
+    async def wait_closed(self) -> None:
+        """Block until a drain completes and the listener is closed."""
+        if self._server is None or self._drained is None:
+            return
+        await self._drained.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        # wait=False: a deadline-abandoned planner thread must not block
+        # shutdown; its checkpoint into the store already happened or
+        # will be discarded with the process.
+        self._executor.shutdown(wait=False)
+        _log.info("serve_stopped", extra={"host": self.host,
+                                          "port": self.port})
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _plan_one(self, request: ProvisionRequest) -> ProvisionResult:
+        """The default computation: one batch-of-one against the store."""
+        report = provision_batch_report([request], store=self.store, jobs=1)
+        return report.results[0]
+
+    async def _answer(self, request: ProvisionRequest) -> ProvisionResult:
+        """Resolve one request through the coalescer and worker pool."""
+        try:
+            key = request.signature()
+        except (ValueError, TypeError) as exc:
+            # Domain-invalid parameters: a per-request error result,
+            # exactly like a bad `repro provision` line.
+            return ProvisionResult(request, None, error=str(exc))
+        loop = asyncio.get_running_loop()
+
+        async def compute() -> ProvisionResult:
+            self._computed.inc()
+            return await loop.run_in_executor(
+                self._executor, self._plan_fn, request)
+
+        result = await self._coalescer.run(key, compute)
+        # Joined waiters echo their own request document (identical
+        # signature, possibly different spelling of max_duty).
+        if result.request is not request:
+            result = dc_replace(result, request=request)
+        return result
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        started = perf_counter()
+        endpoint, status, body = "?", 0, b""
+        content_type = "application/json"
+        try:
+            try:
+                parsed = await asyncio.wait_for(
+                    self._read_request(reader), timeout=_READ_TIMEOUT_S)
+            except asyncio.TimeoutError:
+                parsed = None  # slow client: hang up without a response
+            if parsed is not None:
+                method, path, raw = parsed
+                endpoint = path
+                status, body, content_type = await self._route(
+                    method, path, raw)
+        except protocol.ProtocolError as exc:
+            status, body = exc.status, _encode(exc.to_doc())
+        except Exception:  # noqa: BLE001 - last-ditch 500, never a crash
+            _log.exception("serve_internal_error")
+            status, body = 500, _encode(protocol.error_doc(
+                protocol.ERR_INTERNAL, "internal server error"))
+        try:
+            if status:
+                # Count before the flush: a client that has its response
+                # in hand must find its own request in /metrics already.
+                self._requests.labels(endpoint=endpoint,
+                                      code=str(status)).inc()
+                await self._write_response(writer, status, body, content_type)
+            else:
+                writer.close()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to tell it
+        if status:
+            self._latency.labels(endpoint=endpoint).observe(
+                perf_counter() - started)
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST,
+                                         "malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST,
+                                         "invalid Content-Length header")
+        if length < 0:
+            raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST,
+                                         "invalid Content-Length header")
+        if length > self.config.max_body_bytes:
+            raise protocol.ProtocolError(
+                protocol.ERR_PAYLOAD_TOO_LARGE,
+                f"body of {length} bytes exceeds the limit of "
+                f"{self.config.max_body_bytes}")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.partition("?")[0], body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, body: bytes,
+                              content_type: str) -> None:
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        writer.close()
+
+    # ------------------------------------------------------------------
+    # routing and endpoints
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, raw: bytes
+                     ) -> tuple[int, bytes, str]:
+        if path == "/healthz":
+            _require(method, "GET")
+            return 200, _encode(protocol.ok_doc(
+                status="draining" if self._draining else "serving",
+                inflight=self._active,
+                max_inflight=self.config.max_inflight)), "application/json"
+        if path == "/metrics":
+            _require(method, "GET")
+            return (200, self.registry.to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8")
+        if path == "/metrics.json":
+            _require(method, "GET")
+            return 200, self.registry.to_json().encode("utf-8"), \
+                "application/json"
+        if path in ("/provision", "/plan"):
+            _require(method, "POST")
+            return await self._admit(path, raw)
+        raise protocol.ProtocolError(protocol.ERR_NOT_FOUND,
+                                     f"no such endpoint: {path}")
+
+    async def _admit(self, path: str, raw: bytes) -> tuple[int, bytes, str]:
+        """Admission control around the two provisioning endpoints."""
+        if self._draining:
+            raise protocol.ProtocolError(
+                protocol.ERR_DRAINING,
+                "server is draining for shutdown; retry elsewhere")
+        if self._active >= self.config.max_inflight:
+            raise protocol.ProtocolError(
+                protocol.ERR_OVERLOADED,
+                f"admission bound of {self.config.max_inflight} in-flight "
+                "requests reached; retry with backoff")
+        self._active += 1
+        self._inflight_gauge.set(self._active)
+        try:
+            handler = (self._handle_provision if path == "/provision"
+                       else self._handle_plan)
+            if self.config.request_deadline_s is None:
+                return await handler(raw)
+            try:
+                return await asyncio.wait_for(
+                    handler(raw), timeout=self.config.request_deadline_s)
+            except asyncio.TimeoutError:
+                raise protocol.ProtocolError(
+                    protocol.ERR_DEADLINE_EXCEEDED,
+                    "request exceeded its deadline of "
+                    f"{self.config.request_deadline_s}s")
+        finally:
+            self._active -= 1
+            self._inflight_gauge.set(self._active)
+            if self._draining and self._active == 0 \
+                    and self._drained is not None:
+                self._drained.set()
+
+    async def _handle_provision(self, raw: bytes) -> tuple[int, bytes, str]:
+        requests, include = protocol.parse_provision_body(
+            protocol.parse_body(raw))
+        with span("serve.provision", requests=len(requests)):
+            results = await asyncio.gather(
+                *(self._answer(req) for req in requests))
+        docs = [r.to_dict(include_schedule=include) for r in results]
+        return 200, _encode(protocol.ok_doc(results=docs)), \
+            "application/json"
+
+    async def _handle_plan(self, raw: bytes) -> tuple[int, bytes, str]:
+        request, include = protocol.parse_plan_body(protocol.parse_body(raw))
+        with span("serve.plan", n=request.n, d=request.d):
+            result = await self._answer(request)
+        return 200, _encode(protocol.ok_doc(
+            result=result.to_dict(include_schedule=include))), \
+            "application/json"
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise protocol.ProtocolError(
+            protocol.ERR_METHOD_NOT_ALLOWED,
+            f"endpoint accepts {expected}, not {method}")
+
+
+def _encode(doc: dict[str, Any]) -> bytes:
+    return (json.dumps(doc) + "\n").encode("utf-8")
+
+
+class BackgroundServer:
+    """Run a :class:`ScheduleServer` on a daemon thread (tests, benches).
+
+    Context manager: entering starts an event loop on a fresh thread,
+    binds the server and blocks until it is accepting; exiting drains it
+    and joins the thread.  ``host``/``port``/``server``/``loop`` are
+    available inside the block::
+
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            ServeClient(bs.host, bs.port).health()
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 **server_kwargs: Any) -> None:
+        """*config* and *server_kwargs* pass to :class:`ScheduleServer`."""
+        self._config = config
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve-bg")
+        self.server: ScheduleServer | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.host = ""
+        self.port = 0
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("background server failed to start in time")
+        if self._failure is not None:
+            raise RuntimeError("background server failed to start") \
+                from self._failure
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the server and join its thread (idempotent)."""
+        if self.loop is not None and self.server is not None \
+                and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.begin_drain)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("background server failed to drain in time")
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in __enter__
+            self._failure = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.server = ScheduleServer(self._config, **self._kwargs)
+        self.loop = asyncio.get_running_loop()
+        self.host, self.port = await self.server.start()
+        self._ready.set()
+        await self.server.wait_closed()

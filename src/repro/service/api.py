@@ -38,7 +38,7 @@ from repro.core.planner import (
     duty_grid,
     select_best,
 )
-from repro.core.serialization import schedule_to_dict
+from repro.core.serialization import schedule_from_dict, schedule_to_dict
 from repro.faults import FaultPlan
 from repro.obs.tracing import span
 from repro.service.provision import task_from_point
@@ -81,7 +81,13 @@ class ProvisionRequest:
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "ProvisionRequest":
-        """Parse a JSONL request line (``n``, ``d``, ``max_duty``, opt. ``balanced``)."""
+        """Parse a JSONL request line (``n``, ``d``, ``max_duty``, opt. ``balanced``).
+
+        Strict by design — this is the parse boundary for untrusted input
+        (``repro provision`` files and the ``repro.serve`` HTTP body).
+        Unknown keys and wrong-typed fields raise a ``ValueError`` naming
+        the offending key; nothing mis-typed ever reaches the planner.
+        """
         if not isinstance(doc, dict):
             raise ValueError("request must be a JSON object")
         missing = {"n", "d", "max_duty"} - set(doc)
@@ -90,8 +96,21 @@ class ProvisionRequest:
         unknown = set(doc) - {"n", "d", "max_duty", "balanced"}
         if unknown:
             raise ValueError(f"request has unknown fields: {sorted(unknown)}")
-        return cls(n=doc["n"], d=doc["d"], max_duty=doc["max_duty"],
-                   balanced=bool(doc.get("balanced", False)))
+        for key in ("n", "d"):
+            if isinstance(doc[key], bool) or not isinstance(doc[key], int):
+                raise ValueError(f"request field {key!r} must be an integer, "
+                                 f"got {type(doc[key]).__name__}")
+        max_duty = doc["max_duty"]
+        if isinstance(max_duty, bool) or \
+                not isinstance(max_duty, (int, float, str)):
+            raise ValueError("request field 'max_duty' must be a number or "
+                             f"a fraction string, got {type(max_duty).__name__}")
+        balanced = doc.get("balanced", False)
+        if not isinstance(balanced, bool):
+            raise ValueError("request field 'balanced' must be a boolean, "
+                             f"got {type(balanced).__name__}")
+        return cls(n=doc["n"], d=doc["d"], max_duty=max_duty,
+                   balanced=balanced)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable echo of the request."""
@@ -163,6 +182,41 @@ class ProvisionResult:
                 "balanced": self.request.balanced,
             })
         return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ProvisionResult":
+        """Inverse of :meth:`to_dict` — rebuild a result from its JSON line.
+
+        This is what ``repro call provision`` and the serve client use to
+        round-trip server responses; ``from_dict(r.to_dict()).to_dict()``
+        equals ``r.to_dict()`` exactly.  Success documents must embed the
+        ``schedule`` payload (``to_dict(include_schedule=True)``) — a plan
+        cannot be reconstructed without its slot tables, so a document
+        missing that key raises a ``ValueError`` naming it.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("result must be a JSON object")
+        request = ProvisionRequest.from_dict(doc["request"])
+        failed = tuple(sorted(doc.get("failed_tasks", {}).items()))
+        if "error" in doc:
+            return cls(request, None, error=str(doc["error"]),
+                       failed_tasks=failed)
+        if "schedule" not in doc:
+            raise ValueError("result missing field 'schedule' (serialize "
+                             "with include_schedule=True to round-trip)")
+        plan = Plan(
+            schedule=schedule_from_dict(doc["schedule"]),
+            family=str(doc["family"]),
+            alpha_t=check_int(doc["alpha_t"], "alpha_t", minimum=1),
+            alpha_r=check_int(doc["alpha_r"], "alpha_r", minimum=1),
+            throughput=Fraction(doc["throughput"]),
+            duty_cycle=Fraction(doc["duty_cycle"]),
+            frame_length=check_int(doc["frame_length"], "frame_length",
+                                   minimum=1),
+        )
+        return cls(request, plan, from_cache=bool(doc.get("from_cache", False)),
+                   degraded=bool(doc.get("degraded", False)),
+                   failed_tasks=failed)
 
 
 @dataclass

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from fractions import Fraction
 from pathlib import Path
@@ -284,6 +285,12 @@ class ScheduleStore:
             else default_cache_dir()
         self.memory_slots = check_int(memory_slots, "memory_slots", minimum=0)
         self._memory: OrderedDict[str, Plan] = OrderedDict()
+        # The LRU front is shared by every thread of a serving process
+        # (repro.serve keeps one store hot across requests); its compound
+        # mutations (lookup + move_to_end, insert + trim) take this lock.
+        # Disk I/O stays outside it — atomicity there comes from
+        # tmp-file + os.replace, not from locking.
+        self._memory_lock = threading.Lock()
         self.stats = StoreStats(registry)
 
     # ------------------------------------------------------------------
@@ -341,10 +348,13 @@ class ScheduleStore:
     # ------------------------------------------------------------------
     def _get(self, key: dict[str, Any]) -> Plan | None:
         digest = key_digest(key)
-        if digest in self._memory:
-            self._memory.move_to_end(digest)
+        with self._memory_lock:
+            plan = self._memory.get(digest)
+            if plan is not None:
+                self._memory.move_to_end(digest)
+        if plan is not None:
             self.stats.record_memory_hit()
-            return self._memory[digest]
+            return plan
         path = self.cache_dir / digest[:2] / f"{digest}.json"
         try:
             doc = json.loads(path.read_text())
@@ -375,7 +385,11 @@ class ScheduleStore:
         path = self.cache_dir / digest[:2] / f"{digest}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = self._encode(key, plan)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        # Unique per writer: two pool threads (or processes) storing the
+        # same digest must not share a tmp file, or one writer's replace
+        # consumes the file the other is about to move.
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
         os.replace(tmp, path)
         self.stats.record_store()
@@ -384,10 +398,11 @@ class ScheduleStore:
     def _remember(self, digest: str, plan: Plan) -> None:
         if self.memory_slots == 0:
             return
-        self._memory[digest] = plan
-        self._memory.move_to_end(digest)
-        while len(self._memory) > self.memory_slots:
-            self._memory.popitem(last=False)
+        with self._memory_lock:
+            self._memory[digest] = plan
+            self._memory.move_to_end(digest)
+            while len(self._memory) > self.memory_slots:
+                self._memory.popitem(last=False)
 
     @staticmethod
     def _encode(key: dict[str, Any], plan: Plan) -> dict[str, Any]:

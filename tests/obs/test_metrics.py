@@ -164,6 +164,31 @@ class TestExports:
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_sum" in text and "lat_count" in text
 
+    def test_prometheus_escapes_label_values(self):
+        # Request-derived labels (paths, error strings) may carry any of
+        # the three characters the exposition format reserves.
+        reg = MetricsRegistry()
+        reg.counter("c", "help").labels(
+            path='a\\b"c\nd', code="200").inc()
+        text = reg.to_prometheus()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # The series line itself stays a single physical line.
+        series_lines = [ln for ln in text.splitlines() if ln.startswith("c{")]
+        assert len(series_lines) == 1
+
+    def test_prometheus_escapes_help_text(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "first\nsecond \\ done").labels().inc()
+        text = reg.to_prometheus()
+        assert "# HELP c first\\nsecond \\\\ done" in text
+        assert sum(1 for ln in text.splitlines()
+                   if ln.startswith("# HELP")) == 1
+
+    def test_prometheus_plain_labels_untouched(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "h").labels(endpoint="/provision").inc(3)
+        assert 'c{endpoint="/provision"} 3' in reg.to_prometheus()
+
     def test_default_buckets_are_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 

@@ -1,0 +1,101 @@
+"""The serve client: seeded backoff, retry policy, failure reporting."""
+
+import socket
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import BackgroundServer, ServeConfig
+from repro.service.api import ProvisionRequest
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestBackoff:
+    def test_delay_is_seeded_and_deterministic(self):
+        a = ServeClient(port=1, seed=7)
+        b = ServeClient(port=1, seed=7)
+        delays = [a.backoff_delay("/provision", k) for k in (1, 2, 3)]
+        assert delays == [b.backoff_delay("/provision", k) for k in (1, 2, 3)]
+
+    def test_delay_matches_the_fault_plan_jitter(self):
+        client = ServeClient(port=1, seed=3, backoff_base=0.1,
+                             backoff_cap=10.0)
+        jitter = FaultPlan(seed=3)
+        for attempt in (1, 2, 3):
+            expected = 0.1 * 2.0 ** (attempt - 1) \
+                * jitter.backoff_jitter("/plan", attempt)
+            assert client.backoff_delay("/plan", attempt) == expected
+
+    def test_delay_grows_then_caps(self):
+        client = ServeClient(port=1, seed=0, backoff_base=0.1,
+                             backoff_cap=0.4)
+        # The jitter factor is in [0.5, 1.5): the capped delay never
+        # exceeds cap * 1.5 no matter how deep the ladder goes.
+        for attempt in (1, 2, 3, 4, 5):
+            assert client.backoff_delay("/x", attempt) < 0.4 * 1.5
+
+    def test_distinct_seeds_distinct_schedules(self):
+        a = ServeClient(port=1, seed=1)
+        b = ServeClient(port=1, seed=2)
+        assert [a.backoff_delay("/p", k) for k in (1, 2, 3)] \
+            != [b.backoff_delay("/p", k) for k in (1, 2, 3)]
+
+
+class TestRetries:
+    def test_unreachable_server_raises_unavailable(self):
+        client = ServeClient(port=_free_port(), timeout=1.0, retries=1,
+                             backoff_base=0.001)
+        with pytest.raises(ServeError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unavailable"
+        assert excinfo.value.status == 0
+
+    def test_retry_clears_transient_overload(self, monkeypatch):
+        """A 503 overloaded response is retried; the retry succeeds."""
+        # max_inflight=0 refuses every provisioning request outright.
+        with BackgroundServer(ServeConfig(port=0, max_inflight=0)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=3,
+                                 backoff_base=0.001)
+            attempts = []
+            real_delay = client.backoff_delay
+
+            def lifting_delay(path, attempt):
+                # First backoff sleep: lift the overload so the retry
+                # lands on a healthy admission bound.  ServeConfig is
+                # frozen; tests may pry it open.
+                attempts.append(attempt)
+                object.__setattr__(bs.server.config, "max_inflight", 64)
+                return real_delay(path, attempt)
+
+            monkeypatch.setattr(client, "backoff_delay", lifting_delay)
+            results = client.provision(
+                [ProvisionRequest(12, 2, 0.5)], include_schedules=False)
+            assert "error" not in results[0]
+            assert attempts == [1]  # exactly one retry was needed
+
+    def test_overload_without_retries_raises_immediately(self):
+        with BackgroundServer(ServeConfig(port=0, max_inflight=0)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                client.provision([ProvisionRequest(12, 2, 0.5)])
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.status == 503
+
+    def test_non_retryable_errors_hit_the_server_once(self):
+        reg = MetricsRegistry()
+        with BackgroundServer(ServeConfig(port=0), registry=reg) as bs:
+            client = ServeClient(bs.host, bs.port, retries=3,
+                                 backoff_base=0.001)
+            with pytest.raises(ServeError) as excinfo:
+                client.call("GET", "/no-such-endpoint")
+            assert excinfo.value.code == "not-found"
+            counter = reg.get("repro_serve_requests_total")
+            assert counter.value(endpoint="/no-such-endpoint",
+                                 code="404") == 1  # no retries happened

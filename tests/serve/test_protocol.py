@@ -1,0 +1,127 @@
+"""Wire protocol: strict parsing, versioned error codes, envelopes."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    MAX_BATCH,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    ProtocolError,
+    error_doc,
+    ok_doc,
+    parse_body,
+    parse_plan_body,
+    parse_provision_body,
+)
+
+
+class TestEnvelopes:
+    def test_ok_doc_carries_version_and_payload(self):
+        doc = ok_doc(results=[1, 2])
+        assert doc == {"protocol": PROTOCOL_VERSION, "ok": True,
+                       "results": [1, 2]}
+
+    def test_error_doc_shape(self):
+        doc = error_doc(protocol.ERR_OVERLOADED, "busy")
+        assert doc["ok"] is False
+        assert doc["protocol"] == PROTOCOL_VERSION
+        assert doc["error"] == {"code": "overloaded", "message": "busy"}
+
+    def test_every_code_has_a_status(self):
+        for code in (protocol.ERR_BAD_REQUEST, protocol.ERR_NOT_FOUND,
+                     protocol.ERR_METHOD_NOT_ALLOWED,
+                     protocol.ERR_PAYLOAD_TOO_LARGE, protocol.ERR_OVERLOADED,
+                     protocol.ERR_DRAINING, protocol.ERR_DEADLINE_EXCEEDED,
+                     protocol.ERR_INTERNAL):
+            assert code in ERROR_STATUS
+
+    def test_retryable_codes_are_the_never_processed_ones(self):
+        assert RETRYABLE_CODES == {"overloaded", "draining"}
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown protocol error code"):
+            ProtocolError("made-up", "nope")
+
+    def test_protocol_error_status_and_doc(self):
+        exc = ProtocolError(protocol.ERR_DEADLINE_EXCEEDED, "too slow")
+        assert exc.status == 504
+        assert exc.to_doc()["error"]["code"] == "deadline-exceeded"
+
+
+class TestParseBody:
+    def test_rejects_empty_and_invalid_json(self):
+        with pytest.raises(ProtocolError, match="body required"):
+            parse_body(b"")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_body(b"{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_body(b"[1, 2]")
+
+    def test_accepts_object(self):
+        assert parse_body(b'{"a": 1}') == {"a": 1}
+
+
+GOOD = {"n": 12, "d": 2, "max_duty": 0.5}
+
+
+class TestParseProvisionBody:
+    def test_happy_path(self):
+        reqs, include = parse_provision_body(
+            {"requests": [GOOD, {**GOOD, "balanced": True}]})
+        assert [r.n for r in reqs] == [12, 12]
+        assert reqs[1].balanced is True
+        assert include is True
+
+    def test_include_schedules_flag(self):
+        _, include = parse_provision_body(
+            {"requests": [GOOD], "include_schedules": False})
+        assert include is False
+        with pytest.raises(ProtocolError, match="include_schedules"):
+            parse_provision_body({"requests": [GOOD],
+                                  "include_schedules": "yes"})
+
+    def test_rejects_unknown_top_level_keys(self):
+        with pytest.raises(ProtocolError, match="unknown fields.*extra"):
+            parse_provision_body({"requests": [GOOD], "extra": 1})
+
+    def test_rejects_missing_or_empty_requests(self):
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            parse_provision_body({})
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            parse_provision_body({"requests": []})
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            parse_provision_body({"requests": GOOD})
+
+    def test_rejects_oversized_batch(self):
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            parse_provision_body({"requests": [GOOD] * (MAX_BATCH + 1)})
+
+    def test_element_errors_name_the_index(self):
+        with pytest.raises(ProtocolError, match=r"requests\[1\]"):
+            parse_provision_body({"requests": [GOOD, {"n": 12}]})
+
+    def test_element_type_errors_surface(self):
+        with pytest.raises(ProtocolError, match="'n' must be an integer"):
+            parse_provision_body({"requests": [{**GOOD, "n": "12"}]})
+
+
+class TestParsePlanBody:
+    def test_happy_path(self):
+        req, include = parse_plan_body({**GOOD, "include_schedule": False})
+        assert (req.n, req.d, req.max_duty) == (12, 2, 0.5)
+        assert include is False
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            parse_plan_body({**GOOD, "wat": 1})
+
+    def test_round_trips_through_json(self):
+        # The docs promise the error envelope is plain JSON.
+        doc = error_doc(protocol.ERR_DRAINING, "bye")
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,331 @@
+"""The asyncio schedule server: coalescing, admission, deadlines, drain.
+
+These are the acceptance tests of the serving layer:
+
+(a) N concurrent identical requests trigger exactly one planner
+    evaluation (``TestCoalescing``);
+(b) requests beyond the admission bound get an explicit overload
+    response instead of queueing unboundedly (``TestAdmission``);
+(c) a drain (the SIGTERM path) answers in-flight requests before exit
+    (``TestDrain``).
+
+Deterministic concurrency comes from injected ``plan_fn`` fakes that
+block on events; one end-to-end test runs the real planner.
+"""
+
+import http.client
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.nonsleeping import mols_schedule
+from repro.core.planner import GridPoint, evaluate_grid_point
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import BackgroundServer, ServeConfig
+from repro.service.api import ProvisionRequest, ProvisionResult
+from repro.service.store import ScheduleStore
+
+sys.path.insert(0, str(Path(__file__).parents[2] / "tools"))
+try:
+    from validate_metrics import validate
+finally:
+    sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    """One real, cheap plan to hand out from fake plan functions."""
+    point = GridPoint("mols", mols_schedule(12, 2), 2, 4)
+    return evaluate_grid_point(point, 2)
+
+
+def _counting_plan_fn(tiny_plan, delay=0.0, release=None):
+    """A plan_fn that counts calls; optionally sleeps or blocks."""
+    calls = []
+    lock = threading.Lock()
+
+    def fn(request: ProvisionRequest) -> ProvisionResult:
+        with lock:
+            calls.append(request)
+        if release is not None:
+            assert release.wait(timeout=30.0)
+        elif delay:
+            time.sleep(delay)
+        return ProvisionResult(request, tiny_plan)
+
+    fn.calls = calls
+    return fn
+
+
+class TestEndpoints:
+    def test_healthz_and_metrics(self, tiny_plan):
+        reg = MetricsRegistry()
+        fn = _counting_plan_fn(tiny_plan)
+        with BackgroundServer(ServeConfig(port=0), registry=reg,
+                              plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            health = client.health()
+            assert health["ok"] is True
+            assert health["status"] == "serving"
+            client.provision([{"n": 12, "d": 2, "max_duty": 0.5}],
+                             include_schedules=False)
+            # The JSON snapshot passes the shipped schema validator.
+            snap = client.metrics_snapshot()
+            assert validate(snap) == []
+            assert "repro_serve_requests_total" in snap["counters"]
+            # The Prometheus text carries the same series.
+            text = client.metrics_text()
+            assert "# TYPE repro_serve_requests_total counter" in text
+            assert 'endpoint="/provision"' in text
+
+    def test_http_errors_are_versioned_json(self, tiny_plan):
+        with BackgroundServer(ServeConfig(port=0),
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            for method, path, body, status, code in [
+                    ("GET", "/nope", None, 404, "not-found"),
+                    ("POST", "/healthz", None, 405, "method-not-allowed"),
+                    ("POST", "/provision", {"requests": []}, 400,
+                     "bad-request"),
+            ]:
+                got_status, data, _ct = client.request(method, path, body)
+                doc = json.loads(data)
+                assert got_status == status
+                assert doc["ok"] is False
+                assert doc["error"]["code"] == code
+                assert doc["protocol"] == 1
+
+    def test_malformed_json_and_oversized_body(self, tiny_plan):
+        config = ServeConfig(port=0, max_body_bytes=128)
+        with BackgroundServer(config,
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            conn = http.client.HTTPConnection(bs.host, bs.port, timeout=10)
+            conn.request("POST", "/provision", body=b"{broken",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+            conn.close()
+            assert resp.status == 400
+            assert doc["error"]["code"] == "bad-request"
+
+            conn = http.client.HTTPConnection(bs.host, bs.port, timeout=10)
+            conn.request("POST", "/provision", body=b"x" * 4096,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+            conn.close()
+            assert resp.status == 413
+            assert doc["error"]["code"] == "payload-too-large"
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_one_evaluation(self, tiny_plan):
+        """(a) N identical in-flight requests -> exactly 1 planner call."""
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        reg = MetricsRegistry()
+        n_clients = 8
+        with BackgroundServer(ServeConfig(port=0, jobs=4, max_inflight=32),
+                              registry=reg, plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            doc = {"n": 12, "d": 2, "max_duty": 0.5}
+
+            def call():
+                return client.provision([doc], include_schedules=False)
+
+            with ThreadPoolExecutor(n_clients) as pool:
+                futures = [pool.submit(call) for _ in range(n_clients)]
+                # Wait until every request is admitted and parked on the
+                # single coalesced flight, then release the planner.
+                deadline = time.monotonic() + 20
+                while bs.server.active < n_clients:
+                    assert time.monotonic() < deadline, "admission stalled"
+                    time.sleep(0.005)
+                release.set()
+                results = [f.result(timeout=30) for f in futures]
+
+            assert len(fn.calls) == 1  # the acceptance criterion
+            for res in results:
+                assert res[0]["family"] == "mols"
+            counter = reg.get("repro_serve_coalesce_total")
+            assert counter.value(result="led") == 1
+            assert counter.value(result="joined") == n_clients - 1
+
+    def test_joined_waiters_get_their_own_request_echo(self, tiny_plan):
+        """Same signature, different spelling: each caller sees its own."""
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        with BackgroundServer(ServeConfig(port=0, jobs=2), plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            docs = [{"n": 12, "d": 2, "max_duty": 0.5},
+                    {"n": 12, "d": 2, "max_duty": "1/2"}]
+
+            with ThreadPoolExecutor(2) as pool:
+                futures = [pool.submit(
+                    lambda d=d: client.provision([d],
+                                                 include_schedules=False))
+                    for d in docs]
+                deadline = time.monotonic() + 20
+                while bs.server.active < 2:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                release.set()
+                results = [f.result(timeout=30) for f in futures]
+            assert len(fn.calls) == 1  # "1/2" == 0.5 by signature
+            echoes = sorted(str(r[0]["request"]["max_duty"])
+                            for r in results)
+            assert echoes == ["0.5", "1/2"]
+
+
+class TestAdmission:
+    def test_overload_is_explicit_not_queued(self, tiny_plan):
+        """(b) beyond max_inflight -> immediate 503 overloaded."""
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        config = ServeConfig(port=0, jobs=1, max_inflight=2)
+        with BackgroundServer(config, plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            # Distinct signatures so nothing coalesces.
+            docs = [{"n": 12, "d": 2, "max_duty": 0.5},
+                    {"n": 15, "d": 2, "max_duty": 0.5}]
+            with ThreadPoolExecutor(2) as pool:
+                futures = [pool.submit(
+                    lambda d=d: client.provision([d],
+                                                 include_schedules=False))
+                    for d in docs]
+                deadline = time.monotonic() + 20
+                while bs.server.active < 2:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                # The bound is reached: the next request is refused NOW,
+                # while the first two are still in flight.
+                t0 = time.monotonic()
+                with pytest.raises(ServeError) as excinfo:
+                    client.provision([{"n": 16, "d": 3, "max_duty": 0.5}])
+                refusal_latency = time.monotonic() - t0
+                assert excinfo.value.code == "overloaded"
+                assert excinfo.value.status == 503
+                assert refusal_latency < 5.0  # refused, not queued
+                release.set()
+                # The admitted requests still complete normally.
+                for f in futures:
+                    assert f.result(timeout=30)[0]["family"] == "mols"
+
+    def test_ops_endpoints_bypass_admission(self, tiny_plan):
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        config = ServeConfig(port=0, jobs=1, max_inflight=1)
+        with BackgroundServer(config, plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with ThreadPoolExecutor(1) as pool:
+                future = pool.submit(
+                    lambda: client.provision(
+                        [{"n": 12, "d": 2, "max_duty": 0.5}],
+                        include_schedules=False))
+                deadline = time.monotonic() + 20
+                while bs.server.active < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                # Saturated — but health and metrics still answer.
+                health = client.health()
+                assert health["inflight"] == 1
+                assert validate(client.metrics_snapshot()) == []
+                release.set()
+                future.result(timeout=30)
+
+
+class TestDeadline:
+    def test_deadline_exceeded_is_504(self, tiny_plan):
+        fn = _counting_plan_fn(tiny_plan, delay=1.0)
+        config = ServeConfig(port=0, request_deadline_s=0.05)
+        with BackgroundServer(config, plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                client.provision([{"n": 12, "d": 2, "max_duty": 0.5}])
+            assert excinfo.value.code == "deadline-exceeded"
+            assert excinfo.value.status == 504
+
+
+class TestDrain:
+    def test_drain_answers_inflight_then_refuses_and_exits(self, tiny_plan):
+        """(c) drain: in-flight completes, new work refused, server exits."""
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        bs = BackgroundServer(ServeConfig(port=0, jobs=2), plan_fn=fn)
+        with bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with ThreadPoolExecutor(1) as pool:
+                future = pool.submit(
+                    lambda: client.provision(
+                        [{"n": 12, "d": 2, "max_duty": 0.5}],
+                        include_schedules=False))
+                deadline = time.monotonic() + 20
+                while bs.server.active < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+
+                # SIGTERM path: begin_drain is what the handler calls.
+                bs.loop.call_soon_threadsafe(bs.server.begin_drain)
+                deadline = time.monotonic() + 20
+                while not bs.server.draining:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+
+                # New provisioning work is refused with the draining code.
+                with pytest.raises(ServeError) as excinfo:
+                    client.provision([{"n": 15, "d": 2, "max_duty": 0.5}])
+                assert excinfo.value.code == "draining"
+                # Health reports the drain while it is in progress.
+                assert client.health()["status"] == "draining"
+
+                # The in-flight request still gets its real answer.
+                release.set()
+                assert future.result(timeout=30)[0]["family"] == "mols"
+        # Exiting the context joined the thread: the server fully exited
+        # only after the in-flight response was delivered.
+        assert not bs._thread.is_alive()
+
+    def test_drain_with_idle_server_exits_immediately(self, tiny_plan):
+        bs = BackgroundServer(ServeConfig(port=0),
+                              plan_fn=_counting_plan_fn(tiny_plan))
+        with bs:
+            pass  # __exit__ drains; an idle server must not hang
+        assert not bs._thread.is_alive()
+
+
+class TestRealPlanner:
+    def test_end_to_end_with_store(self, tmp_path):
+        """The default plan_fn: real planner, hot store, cache hits."""
+        reg = MetricsRegistry()
+        store = ScheduleStore(tmp_path / "cache", registry=reg)
+        with BackgroundServer(ServeConfig(port=0, jobs=2), store=store,
+                              registry=reg) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            results = client.provision_results(
+                [{"n": 12, "d": 2, "max_duty": 0.5}])
+            assert results[0].plan is not None
+            assert results[0].plan.duty_cycle <= 0.5
+            # Round-trip through the interchange format is exact.
+            doc = results[0].to_dict()
+            assert ProvisionResult.from_dict(doc).to_dict() == doc
+            # Second call: served from the hot plan cache.
+            again = client.provision_results(
+                [{"n": 12, "d": 2, "max_duty": 0.5}])
+            assert again[0].from_cache is True
+            assert again[0].plan == results[0].plan
+
+    def test_domain_errors_are_per_request_not_transport(self, tiny_plan):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            # n=2 with duty below 2/n is infeasible: a 200 with an error
+            # result, exactly like a bad `repro provision` line.
+            docs = client.provision([{"n": 2, "d": 1, "max_duty": 0.1}],
+                                    include_schedules=False)
+            assert "error" in docs[0]
+            assert "request" in docs[0]

@@ -47,6 +47,61 @@ class TestRequests:
         exact_sig = ProvisionRequest(15, 2, Fraction(2, 5)).signature()
         assert float_sig == exact_sig == (15, 2, Fraction(2, 5), False)
 
+    def test_from_dict_rejects_wrong_types_naming_the_key(self):
+        good = {"n": 15, "d": 2, "max_duty": 0.4}
+        for key, bad in [("n", "15"), ("n", 15.0), ("n", True),
+                         ("d", "2"), ("d", None), ("d", False)]:
+            with pytest.raises(ValueError, match=f"field '{key}' must be"):
+                ProvisionRequest.from_dict({**good, key: bad})
+        for bad_duty in ([0.4], None, True, {"num": 2}):
+            with pytest.raises(ValueError, match="'max_duty' must be"):
+                ProvisionRequest.from_dict({**good, "max_duty": bad_duty})
+        for bad_balanced in ("yes", 1, 0, None):
+            with pytest.raises(ValueError, match="'balanced' must be"):
+                ProvisionRequest.from_dict({**good,
+                                            "balanced": bad_balanced})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ProvisionRequest.from_dict([15, 2, 0.4])
+
+    def test_from_dict_accepts_integer_duty(self):
+        # max_duty=1 (always-on) is an int, not a float: still a number.
+        req = ProvisionRequest.from_dict({"n": 15, "d": 2, "max_duty": 1})
+        assert req.max_duty == 1
+
+
+class TestResultFromDict:
+    def test_success_round_trips_exactly(self):
+        result, = provision_batch([ProvisionRequest(12, 2, 0.5)])
+        doc = result.to_dict()
+        back = ProvisionResult.from_dict(doc)
+        assert back.plan == result.plan
+        assert back.request == result.request
+        assert back.to_dict() == doc
+
+    def test_error_result_round_trips(self):
+        result, = provision_batch([ProvisionRequest(12, 2, 0.05)])
+        back = ProvisionResult.from_dict(result.to_dict())
+        assert back.plan is None
+        assert back.error == result.error
+        assert back.to_dict() == result.to_dict()
+
+    def test_schedule_free_document_is_rejected(self):
+        result, = provision_batch([ProvisionRequest(12, 2, 0.5)])
+        doc = result.to_dict(include_schedule=False)
+        with pytest.raises(ValueError, match="missing field 'schedule'"):
+            ProvisionResult.from_dict(doc)
+
+    def test_from_cache_and_degraded_flags_survive(self):
+        result, = provision_batch([ProvisionRequest(12, 2, 0.5)])
+        doc = result.to_dict()
+        doc["from_cache"] = True
+        doc["degraded"] = True
+        back = ProvisionResult.from_dict(doc)
+        assert back.from_cache is True
+        assert back.degraded is True
+
 
 class TestBatch:
     def test_matches_sequential_planner(self):

@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import threading
 from fractions import Fraction
 from pathlib import Path
 
@@ -155,6 +156,121 @@ class TestMemoryFront:
         fresh.get_eval(plan.family, 12, 2, 2, 4, False)
         assert fresh.stats.disk_hits == 1
         assert fresh.stats.memory_hits == 1
+
+
+class TestConcurrency:
+    """The store under the serve worker pool: many threads, one store."""
+
+    def test_racing_writers_leave_a_readable_entry(self, store):
+        plan = _some_plan()
+        barrier = threading.Barrier(4)
+        failures = []
+
+        def writer():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(25):
+                    store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+            except Exception as exc:  # noqa: BLE001 - reported below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert failures == []
+        # Both layers agree and the payload is intact.
+        assert store.get_eval(plan.family, 12, 2, 2, 4, False) == plan
+        fresh = ScheduleStore(store.cache_dir)  # disk only
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) == plan
+
+    def test_readers_race_writers_without_corruption(self, store):
+        plan = _some_plan()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    got = store.get_eval(plan.family, 12, 2, 2, 4, False)
+                    # A reader sees either a miss (before the first write
+                    # lands) or the exact plan — never a torn value.
+                    assert got is None or got == plan
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer)] \
+            + [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads[1:]:
+            t.join(timeout=30)
+        stop.set()
+        threads[0].join(timeout=30)
+        assert failures == []
+
+    def test_reader_during_eviction_does_not_crash(self, store):
+        """Concurrent readers of a corrupt entry: one evicts, none crash."""
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        failures = []
+        results = []
+
+        def reader(s):
+            try:
+                results.append(s.get_eval(plan.family, 12, 2, 2, 4, False))
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        for _ in range(10):
+            store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+            store.entry_path(key).write_text("{ not json")
+            fresh = ScheduleStore(store.cache_dir)  # cold memory front
+            threads = [threading.Thread(target=reader, args=(fresh,))
+                       for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert failures == []
+        assert all(r is None for r in results)  # corrupt == miss, always
+
+    def test_lru_trim_races_hot_gets(self, tmp_path):
+        """A tiny LRU being trimmed by writers must not break readers."""
+        store = ScheduleStore(tmp_path / "cache", memory_slots=2)
+        plans = {alpha_r: _some_plan(alpha_r=alpha_r)
+                 for alpha_r in (3, 4, 5, 6)}
+        for alpha_r, plan in plans.items():
+            store.put_eval(plan.family, 12, 2, 2, alpha_r, False, plan)
+        failures = []
+
+        def churn():
+            try:
+                for _ in range(50):
+                    for alpha_r, plan in plans.items():
+                        store.put_eval(plan.family, 12, 2, 2, alpha_r,
+                                       False, plan)
+                        got = store.get_eval(plan.family, 12, 2, 2,
+                                             alpha_r, False)
+                        assert got == plan
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert failures == []
+        assert len(store._memory) <= 2
 
 
 class TestPlannerIntegration:
