@@ -12,6 +12,8 @@ writing Python:
 ``verify``     exact topology-transparency decision for a schedule file
 ``analyze``    throughput/duty/latency report for a schedule file
 ``simulate``   run the slot simulator on a generated topology
+``sweep``      sharded, resumable simulation sweeps: JSONL specs in,
+               JSONL result rows out, with ``--jobs``/``--resume``
 ``families``   frame-length table of every substrate family for (n, D)
 ``serve``      always-on asyncio schedule server (HTTP/JSON): hot cache,
                request coalescing, admission control, ``/metrics``
@@ -212,6 +214,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", default=None,
                    help="JSON fault-plan file; overrides the individual "
                         "fault flags (see docs/robustness.md)")
+
+    p = sub.add_parser("sweep", parents=[obs],
+                       help="sharded parameter sweep over the simulator "
+                            "(JSONL in/out)")
+    p.add_argument("-i", "--input", default="-",
+                   help="JSONL sweep-spec file, one spec object per line "
+                        "(see docs/sweeps.md); '-' reads stdin (default)")
+    p.add_argument("-o", "--output", default="-",
+                   help="JSONL result path; '-' writes stdout (default)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker-pool width for shard evaluation (default 1)")
+    p.add_argument("--shard-size", type=int, default=8,
+                   help="grid points per shard — the unit of checkpointing "
+                        "and retry (default 8)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write per-shard checkpoints here (content-"
+                        "addressed JSONL); required for --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse valid checkpoints from --checkpoint-dir "
+                        "instead of recomputing their shards")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-shard wall-clock budget in seconds; a hung "
+                        "worker is reclaimed and the shard retried")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="faulted attempts a shard may burn beyond its "
+                        "first (default 2)")
+    p.add_argument("--fault-plan", default=None,
+                   help="JSON fault-injection plan (chaos testing; see "
+                        "docs/robustness.md for the schema)")
 
     p = sub.add_parser("families", parents=[obs], help="substrate frame-length table")
     p.add_argument("-n", type=int, required=True)
@@ -605,6 +636,71 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweeps import SweepRunner, SweepSpec
+    from repro.service.runtime import RuntimeConfig
+
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = open(args.input).read().splitlines()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    specs = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            specs.append(SweepSpec.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            print(f"error: {args.input}:{lineno}: {exc}", file=sys.stderr)
+            return 2
+    if not specs:
+        print("error: no sweep specs in input", file=sys.stderr)
+        return 2
+    try:
+        faults = _load_fault_plan(args.fault_plan)
+        config = RuntimeConfig(jobs=args.jobs,
+                               task_timeout=args.task_timeout,
+                               max_retries=args.max_retries)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = []
+    for spec in specs:
+        runner = SweepRunner(spec, jobs=args.jobs,
+                             shard_size=args.shard_size,
+                             checkpoint_dir=args.checkpoint_dir,
+                             resume=args.resume, config=config,
+                             faults=faults)
+        results.append(runner.run())
+    text = "".join(result.to_jsonl() for result in results)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    rows = sum(len(r.rows) for r in results)
+    errors = sum(1 for r in results for row in r.rows if "error" in row)
+    shards = sum(len(r.shard_digests) for r in results)
+    resumed = sum(r.resumed_shards for r in results)
+    failed_shards = sum(1 for r in results
+                        for rep in r.reports.values() if not rep.succeeded)
+    summary = (f"swept {rows - errors}/{rows} points across {shards} shards "
+               f"(jobs={args.jobs}, {resumed} resumed")
+    if failed_shards:
+        summary += f", {failed_shards} shards failed"
+    print(summary + ")", file=sys.stderr)
+    # Exit 3 = every point answered, but some shards were lost to worker
+    # faults and degraded to error rows (mirrors `repro provision`).
+    return 3 if failed_shards else 0
+
+
 def _cmd_families(args) -> int:
     from repro.analysis.tables import Table
     from repro.core.planner import candidate_sources
@@ -666,6 +762,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "families": _cmd_families,
     "report": _cmd_report,
     "experiment": _cmd_experiment,

@@ -257,15 +257,19 @@ def _evaluate(task) -> Plan:
 
 
 def _worker(task, fault: str | None, hang_seconds: float,
-            slow_seconds: float) -> tuple[str, Plan, float, dict]:
+            slow_seconds: float, evaluate=_evaluate
+            ) -> tuple[str, Any, float, dict]:
     """Pool entry point: apply any injected fault, then evaluate.
 
-    Module-level so the pool can pickle it by reference.  ``crash`` kills
-    the process outright (the BrokenProcessPool path), ``hang`` sleeps
-    long enough to trip the per-task timeout, ``slow`` adds latency,
-    ``error`` raises — the four failure modes the runtime must absorb.
+    Module-level so the pool can pickle it by reference; *evaluate* must
+    likewise be a module-level callable (the default is the planner's
+    grid-point evaluation, the sweep engine ships its own).  ``crash``
+    kills the process outright (the BrokenProcessPool path), ``hang``
+    sleeps long enough to trip the per-task timeout, ``slow`` adds
+    latency, ``error`` raises — the four failure modes the runtime must
+    absorb.
 
-    Returns ``(digest, plan, duration_s, metrics_snapshot)``: the
+    Returns ``(digest, result, duration_s, metrics_snapshot)``: the
     evaluation is timed worker-side and recorded into a private
     registry whose snapshot the parent merges, so per-worker metric
     deltas survive the process boundary.
@@ -281,7 +285,7 @@ def _worker(task, fault: str | None, hang_seconds: float,
             f"injected worker error for task {task.key()[:12]}")
     registry = MetricsRegistry()
     start = perf_counter()
-    plan = _evaluate(task)
+    plan = evaluate(task)
     duration = perf_counter() - start
     registry.histogram(
         "repro_runtime_task_exec_seconds",
@@ -319,15 +323,17 @@ def _teardown_pool(pool: ProcessPoolExecutor) -> None:
 # ----------------------------------------------------------------------
 def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
                   store=None, faults: FaultPlan | None = None,
-                  registry: MetricsRegistry | None = None
+                  registry: MetricsRegistry | None = None,
+                  evaluate=None, checkpoint=None
                   ) -> RuntimeResult:
     """Run every task to a terminal status; never raise for a task fault.
 
     Parameters
     ----------
     tasks:
-        Iterable of :class:`~repro.service.provision.EvalTask`; duplicates
-        (by store-key digest) are evaluated once.
+        Iterable of task objects exposing ``key() -> str`` (their identity
+        digest); duplicates are evaluated once.  The default *evaluate*
+        expects :class:`~repro.service.provision.EvalTask`.
     config:
         :class:`RuntimeConfig`; default runs inline with 2 retries.
     store:
@@ -345,13 +351,27 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
         default registry.  Worker-side metric deltas are merged in and
         the terminal-status counters reconcile exactly with
         :meth:`RuntimeResult.summary`.
+    evaluate:
+        The per-task evaluation callable, ``task -> result``; must be a
+        *module-level* function so the pool can pickle it by reference.
+        Defaults to the planner grid-point evaluation.
+    checkpoint:
+        Parent-side callable ``(task, result) -> None`` invoked the
+        moment a task completes; defaults to checkpointing the plan into
+        *store*.  Exceptions here propagate — losing checkpoints silently
+        would defeat warm resume.
 
     Returns
     -------
     RuntimeResult
-        Plans for every survivor plus a :class:`TaskReport` per task.
+        Results for every survivor plus a :class:`TaskReport` per task.
     """
     config = config or RuntimeConfig()
+    if evaluate is None:
+        evaluate = _evaluate
+    if checkpoint is None:
+        def checkpoint(task, plan, _store=store):
+            _checkpoint(_store, task, plan)
     instruments = _Instruments(registry if registry is not None
                                else default_registry())
     distinct: dict[str, object] = {}
@@ -367,9 +387,11 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
         "max_retries": config.max_retries})
     start = perf_counter()
     if config.jobs == 1:
-        _run_inline(distinct, config, store, faults, result, instruments)
+        _run_inline(distinct, config, checkpoint, faults, result,
+                    instruments, evaluate)
     else:
-        _run_pool(distinct, config, store, faults, result, instruments)
+        _run_pool(distinct, config, checkpoint, faults, result,
+                  instruments, evaluate)
     instruments.finish(result)
     _log.info("batch_finished", extra={
         "tasks": len(distinct), "duration_s": round(perf_counter() - start, 6),
@@ -378,9 +400,9 @@ def execute_tasks(tasks, *, config: RuntimeConfig | None = None,
     return result
 
 
-def _run_inline(distinct, config: RuntimeConfig, store,
+def _run_inline(distinct, config: RuntimeConfig, checkpoint,
                 faults: FaultPlan | None, result: RuntimeResult,
-                instruments: _Instruments) -> None:
+                instruments: _Instruments, evaluate) -> None:
     """The ``jobs=1`` path: no pool, same statuses and retry policy.
 
     Inline, a ``crash`` injection degrades to an error (there is no
@@ -403,7 +425,7 @@ def _run_inline(distinct, config: RuntimeConfig, store,
                     time.sleep(faults.slow_seconds)
                 try:
                     start = perf_counter()
-                    plan = _evaluate(task)
+                    plan = evaluate(task)
                     duration = perf_counter() - start
                 except Exception as exc:
                     kind, error = "error", f"{type(exc).__name__}: {exc}"
@@ -413,7 +435,7 @@ def _run_inline(distinct, config: RuntimeConfig, store,
                                  else STATUS_OK)
                 report.duration_s = duration
                 instruments.exec.observe(duration)
-                _checkpoint(store, task, plan)
+                checkpoint(task, plan)
                 _log.info("task_completed", extra={
                     "digest": digest[:12], "status": report.status,
                     "attempts": report.attempts,
@@ -441,9 +463,9 @@ def _run_inline(distinct, config: RuntimeConfig, store,
                                             faults))
 
 
-def _run_pool(distinct, config: RuntimeConfig, store,
+def _run_pool(distinct, config: RuntimeConfig, checkpoint,
               faults: FaultPlan | None, result: RuntimeResult,
-              instruments: _Instruments) -> None:
+              instruments: _Instruments, evaluate) -> None:
     """The ``jobs>1`` path: individual futures over a rebuildable pool."""
     width = min(config.jobs, len(distinct))
     pool = ProcessPoolExecutor(max_workers=width)
@@ -476,7 +498,7 @@ def _run_pool(distinct, config: RuntimeConfig, store,
         report.duration_s = duration
         report.worker_metrics = worker_snapshot
         instruments.registry.merge(worker_snapshot)
-        _checkpoint(store, distinct[digest], plan)
+        checkpoint(distinct[digest], plan)
         _log.info("task_completed", extra={
             "digest": digest[:12], "status": report.status,
             "attempts": report.attempts, "duration_s": round(duration, 6)})
@@ -544,7 +566,7 @@ def _run_pool(distinct, config: RuntimeConfig, store,
                  if faults is not None else None)
         try:
             future = pool.submit(_worker, distinct[digest], fault,
-                                 hang_s, slow_s)
+                                 hang_s, slow_s, evaluate)
         except (BrokenProcessPool, RuntimeError):
             ready.appendleft(digest)
             return False

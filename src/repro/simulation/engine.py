@@ -100,6 +100,21 @@ class Simulator:
         a slots-per-second gauge); defaults to the process-global registry.
         Series update once per :meth:`run` frame — never per slot — so the
         hot path stays untouched.
+    instrument:
+        When False the simulator never touches a registry or tracer: no
+        series are created, no ``sim.frame`` spans open and no per-frame
+        gauge flushes run — the uninstrumented path is allocation-free.
+        This also unlocks the vectorized saturated-mode frame kernel in
+        :meth:`run` (see *vectorize*), the fast path the sweep engine
+        rides.
+    vectorize:
+        Allow the vectorized saturated-mode kernel (matrix collision
+        resolution over whole frames).  It engages only when
+        ``instrument=False`` and the run is eligible — saturated traffic,
+        synchronous clocks, no fault plan, no capture — and is *exact*:
+        the property suite pins it bit-for-bit against the scalar
+        reference (:meth:`_slow_slot_step`) and the analytic
+        ``|T(x, y, S)|``.  Set False to force the scalar path.
     faults:
         Optional :class:`repro.faults.FaultPlan`.  Crashed nodes neither
         transmit, listen nor sense (their queues survive a reboot); clean
@@ -118,7 +133,9 @@ class Simulator:
                  capture_probability: float = 0.0,
                  rng: np.random.Generator | None = None,
                  registry: MetricsRegistry | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 instrument: bool = True,
+                 vectorize: bool = True) -> None:
         if topology.n > schedule.n:
             raise ValueError(
                 f"topology has {topology.n} nodes but the schedule only "
@@ -151,21 +168,30 @@ class Simulator:
         self._elig_cache: dict[int, tuple[list[bool], list[bool]]] = {}
         # Radio wakeup accounting: who was awake last slot.
         self._was_awake = [False] * topology.n
+        self._instrument = bool(instrument)
+        self._vectorize = bool(vectorize)
         # Observability: registry series updated per frame from Metrics
         # deltas (the per-slot hot path never touches the registry).
-        reg = registry if registry is not None else default_registry()
-        self._obs_collisions = reg.counter(
-            "repro_sim_collisions_total",
-            "Receiver-side collisions observed by the simulator.").labels()
-        self._obs_losses = reg.counter(
-            "repro_sim_link_losses_total",
-            "Clean receptions destroyed by injected link loss.").labels()
-        self._obs_rate = reg.gauge(
-            "repro_sim_slots_per_second",
-            "Simulated slots per wall-clock second, last run() call."
-        ).labels()
+        # With instrument=False the registry and tracer are never touched
+        # at all — not even to create idle series.
+        if self._instrument:
+            reg = registry if registry is not None else default_registry()
+            self._obs_collisions = reg.counter(
+                "repro_sim_collisions_total",
+                "Receiver-side collisions observed by the simulator.").labels()
+            self._obs_losses = reg.counter(
+                "repro_sim_link_losses_total",
+                "Clean receptions destroyed by injected link loss.").labels()
+            self._obs_rate = reg.gauge(
+                "repro_sim_slots_per_second",
+                "Simulated slots per wall-clock second, last run() call."
+            ).labels()
+        else:
+            self._obs_collisions = self._obs_losses = self._obs_rate = None
         self._counted_collisions = 0
         self._counted_losses = 0
+        # Lazily built matrices for the vectorized frame kernel.
+        self._mats: tuple[np.ndarray, ...] | None = None
 
     def _eligibility(self, slot: int) -> tuple[list[bool], list[bool]]:
         """Per-node (tx_eligible, listening) flags for this true slot."""
@@ -342,8 +368,14 @@ class Simulator:
         self._slot += 1
         self.metrics.slots = self._slot
 
+    #: The pre-vectorization scalar slot step, kept by name as the exact
+    #: reference the property suite replays against the vectorized kernel.
+    _slow_slot_step = step
+
     def _flush_observability(self, slots: int, elapsed: float) -> None:
         """Publish Metrics deltas to the registry (once per frame/run)."""
+        if self._obs_collisions is None:
+            return
         collisions = self.metrics.total_collisions()
         self._obs_collisions.inc(collisions - self._counted_collisions)
         self._counted_collisions = collisions
@@ -353,15 +385,117 @@ class Simulator:
         if elapsed > 0.0:
             self._obs_rate.set(slots / elapsed)
 
+    # ------------------------------------------------------------------
+    # vectorized saturated-mode frame kernel
+    # ------------------------------------------------------------------
+    @property
+    def _vector_eligible(self) -> bool:
+        """True when the matrix kernel reproduces the scalar path exactly.
+
+        Saturated traffic under perfect synchrony with no fault plan and
+        no capture lottery is memoryless: every slot's outcome is a pure
+        function of the frame position, so whole frames collapse into one
+        batch of matrix operations.
+        """
+        return (self._vectorize and not self._instrument
+                and self.traffic.saturated and self._sync
+                and self._faults is None and self.capture_probability == 0.0)
+
+    def _matrices(self) -> tuple[np.ndarray, ...]:
+        """Adjacency and eligibility matrices, built once per simulator."""
+        if self._mats is None:
+            n = self.topology.n
+            adj = np.zeros((n, n), dtype=bool)
+            for u, v in self.topology.edges:
+                adj[u, v] = adj[v, u] = True
+            tx_elig = self.schedule.tx_matrix()[:, :n]
+            rx = self.schedule.rx_matrix()[:, :n]
+            self._mats = (adj, tx_elig, rx)
+        return self._mats
+
+    def _run_vectorized(self, frames: int) -> None:
+        """Advance *frames* whole frames with per-slot collision resolution
+        as matrix algebra; exact replica of ``frames * L`` scalar steps."""
+        n = self.topology.n
+        length = self.schedule.frame_length
+        adj, tx_elig, rx = self._matrices()
+        # Rows in *simulated* order: the run may start mid-frame.
+        offset = self._slot % length
+        if offset:
+            tx_elig = np.roll(tx_elig, -offset, axis=0)
+            rx = np.roll(rx, -offset, axis=0)
+        degree = adj.sum(axis=1)
+        # Actual transmitters per slot: eligible and with someone to hear.
+        tx = tx_elig & (degree > 0)[None, :]
+        adj_i = adj.astype(np.int64)
+        talkers = tx.astype(np.int64) @ adj_i      # (L, n): transmitting nbrs
+        clean = rx & (talkers == 1)                # unique-talker listeners
+        # successes[x, y]: slots where x transmits and y hears exactly one
+        # neighbour — x is then necessarily that neighbour when x ~ y.
+        successes = (tx.astype(np.int64).T @ clean.astype(np.int64)) * adj_i
+        tx_slots = tx.sum(axis=0, dtype=np.int64)  # attempts per frame / nbr
+        collisions = (rx & (talkers >= 2)).sum(axis=0, dtype=np.int64)
+
+        m = self.metrics
+        for x in np.nonzero(tx_slots)[0]:
+            count = int(tx_slots[x]) * frames
+            for y in np.nonzero(adj[x])[0]:
+                m.attempts[(int(x), int(y))] += count
+        for x, y in zip(*np.nonzero(successes)):
+            m.successes[(int(x), int(y))] += int(successes[x, y]) * frames
+        for y in np.nonzero(collisions)[0]:
+            m.collisions[int(y)] += int(collisions[y]) * frames
+
+        # Energy: state occupancy per node over one frame, scaled.
+        model = self.energy.model
+        idle = (tx_elig & ~tx if not self.idle_transmitters_sleep
+                else np.zeros_like(tx))
+        awake = tx | rx | idle
+        tx_ct, rx_ct, idle_ct = (a.sum(axis=0, dtype=np.int64)
+                                 for a in (tx, rx, idle))
+        sleep_ct = length - tx_ct - rx_ct - idle_ct
+        for state, counts in ((RadioState.TRANSMIT, tx_ct),
+                              (RadioState.RECEIVE, rx_ct),
+                              (RadioState.IDLE, idle_ct),
+                              (RadioState.SLEEP, sleep_ct)):
+            self.energy.state_slots[state] += counts * frames
+        self.energy.spent_mj += frames * (
+            tx_ct * model.tx_mj + rx_ct * model.rx_mj
+            + idle_ct * model.idle_mj + sleep_ct * model.sleep_mj)
+        # Wakeups: sleep->awake edges.  In the steady state frames repeat,
+        # so the frame boundary compares against the previous frame's last
+        # slot; frame 0 alone compares against the recorded history.
+        prev = np.roll(awake, 1, axis=0)           # steady-state predecessor
+        steady = (awake & ~prev).sum(axis=0, dtype=np.int64)
+        was = np.asarray(self._was_awake, dtype=bool)
+        first = steady - (awake[0] & ~awake[-1]) + (awake[0] & ~was)
+        wakeups = first + steady * (frames - 1)
+        self.energy.wakeups += wakeups
+        self.energy.spent_mj += wakeups * model.wakeup_mj
+        self._was_awake = awake[-1].tolist()
+
+        self._slot += frames * length
+        m.slots = self._slot
+
     def run(self, frames: int) -> Metrics:
         """Simulate *frames* whole schedule frames; returns the metrics.
 
-        Each frame is bracketed in a ``sim.frame`` span, and the
-        collision/link-loss counters plus the slots-per-second gauge
-        update from :class:`Metrics` deltas at frame boundaries.
+        Instrumented, each frame is bracketed in a ``sim.frame`` span and
+        the collision/link-loss counters plus the slots-per-second gauge
+        update from :class:`Metrics` deltas at frame boundaries.  With
+        ``instrument=False`` neither registry nor tracer is touched and,
+        when the run is eligible (see *vectorize*), whole frames execute
+        through the vectorized kernel.
         """
         frames = check_int(frames, "frames", minimum=1)
         length = self.schedule.frame_length
+        if self._vector_eligible:
+            self._run_vectorized(frames)
+            return self.metrics
+        if not self._instrument:
+            for _ in range(frames * length):
+                self.step()
+            return self.metrics
         started = perf_counter()
         for frame in range(frames):
             with span("sim.frame", frame=frame, slots=length):

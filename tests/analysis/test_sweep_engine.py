@@ -1,0 +1,187 @@
+"""Determinism and fault regression tests for the sharded sweep engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweeps import (
+    ROW_FORMAT,
+    ROW_VERSION,
+    ShardTask,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+    render_row,
+)
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.service.runtime import STATUS_QUARANTINED, RuntimeConfig
+
+#: A small but non-trivial grid: two families, an infeasible point
+#: (13 * 3 odd for a regular topology), two traffic modes, two seeds.
+SPEC = SweepSpec(families=("tdma", "polynomial"), ns=(10, 13), ds=(3,),
+                 traffics=("saturated", "poisson"), seeds=(0, 1), frames=2)
+
+
+class TestSpec:
+    def test_expand_row_major_and_dedup(self):
+        spec = SweepSpec(families=("tdma",), ns=(4, 4, 6), ds=(2,),
+                         seeds=(0, 1))
+        points = spec.expand()
+        assert points == [
+            SweepPoint("tdma", 4, 2, "saturated", 0),
+            SweepPoint("tdma", 4, 2, "saturated", 1),
+            SweepPoint("tdma", 6, 2, "saturated", 0),
+            SweepPoint("tdma", 6, 2, "saturated", 1),
+        ]
+
+    def test_round_trip(self):
+        assert SweepSpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            SweepSpec.from_dict({"famlies": ["tdma"]})
+
+    @pytest.mark.parametrize("bad", [
+        {"families": ["klingon"]},
+        {"traffics": ["warp"]},
+        {"topology": "moebius"},
+        {"ns": []},
+        {"alpha_t": 4},            # alpha_r missing
+        {"rate": 0.0},
+        {"frames": 0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SweepSpec.from_dict({**SPEC.to_dict(), **bad})
+
+    def test_shard_key_is_content_addressed(self):
+        points = tuple(SPEC.expand()[:3])
+        a = ShardTask(SPEC, points, 0)
+        b = ShardTask(SPEC, points, 7)         # index is not identity
+        c = ShardTask(SPEC, points[:2], 0)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert len(a.key()) == 64
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return SweepRunner(SPEC, jobs=1, shard_size=3).run()
+
+    def test_one_row_per_point_in_grid_order(self, baseline):
+        points = SPEC.expand()
+        assert [row["point"] for row in baseline.rows] \
+            == [p.to_dict() for p in points]
+        assert baseline.complete
+
+    def test_infeasible_points_become_error_rows(self, baseline):
+        errors = [row for row in baseline.rows if "error" in row]
+        assert errors, "the 13 * 3 odd regular points must be infeasible"
+        assert all(row["point"]["n"] == 13 for row in errors)
+        assert all("needs n*D even" in row["error"] for row in errors)
+        for row in baseline.rows:
+            assert row["format"] == ROW_FORMAT
+            assert row["version"] == ROW_VERSION
+
+    @pytest.mark.parametrize("jobs", [4, 8])
+    def test_jobs_do_not_change_bytes(self, baseline, jobs):
+        result = SweepRunner(SPEC, jobs=jobs, shard_size=3).run()
+        assert result.to_jsonl() == baseline.to_jsonl()
+
+    def test_shard_size_does_not_change_bytes(self, baseline):
+        result = SweepRunner(SPEC, jobs=1, shard_size=1).run()
+        assert result.to_jsonl() == baseline.to_jsonl()
+
+    def test_rows_render_canonically(self, baseline):
+        for row in baseline.rows:
+            assert render_row(row) == json.dumps(
+                row, sort_keys=True, separators=(",", ":"))
+
+
+class TestCheckpointResume:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            SweepRunner(SPEC, resume=True)
+
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path):
+        clean = SweepRunner(SPEC, jobs=1, shard_size=3).run()
+        # "Kill" the sweep mid-run: one shard's every attempt crashes, so
+        # its checkpoint is never written while the others complete.
+        victim = clean.shard_digests[2]
+        faults = FaultPlan(targeted_worker_faults=(
+            (victim, ("crash",) * 8),))
+        ckpt = tmp_path / "ckpt"
+        killed = SweepRunner(SPEC, jobs=1, shard_size=3,
+                             checkpoint_dir=ckpt,
+                             config=RuntimeConfig(max_retries=0,
+                                                  backoff_base=0.0),
+                             faults=faults).run()
+        assert not killed.complete
+        written = {p.stem for p in ckpt.glob("*.jsonl")}
+        assert victim not in written
+        assert written == set(clean.shard_digests) - {victim}
+        # The crashed shard degraded to deterministic error rows...
+        dead_rows = [r for r in killed.rows if "shard failed" in
+                     r.get("error", "")]
+        assert len(dead_rows) == 3
+        # ...and a resume recomputes only the missing shard, yielding
+        # bytes identical to the never-killed run.
+        resumed = SweepRunner(SPEC, jobs=2, shard_size=3,
+                              checkpoint_dir=ckpt, resume=True).run()
+        assert resumed.resumed_shards == len(clean.shard_digests) - 1
+        assert resumed.to_jsonl() == clean.to_jsonl()
+
+    def test_corrupt_checkpoint_is_recomputed(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = SweepRunner(SPEC, jobs=1, shard_size=3,
+                            checkpoint_dir=ckpt).run()
+        victim = ckpt / f"{first.shard_digests[0]}.jsonl"
+        victim.write_text("not json\n")
+        second = SweepRunner(SPEC, jobs=1, shard_size=3,
+                             checkpoint_dir=ckpt, resume=True).run()
+        assert second.resumed_shards == len(first.shard_digests) - 1
+        assert second.to_jsonl() == first.to_jsonl()
+        # The recompute healed the checkpoint on disk.
+        assert victim.read_text() != "not json\n"
+
+    def test_wrong_point_count_checkpoint_is_recomputed(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = SweepRunner(SPEC, jobs=1, shard_size=3,
+                            checkpoint_dir=ckpt).run()
+        victim = ckpt / f"{first.shard_digests[1]}.jsonl"
+        lines = victim.read_text().splitlines()
+        victim.write_text("\n".join(lines[:-1]) + "\n")
+        second = SweepRunner(SPEC, jobs=1, shard_size=3,
+                             checkpoint_dir=ckpt, resume=True).run()
+        assert second.resumed_shards == len(first.shard_digests) - 1
+        assert second.to_jsonl() == first.to_jsonl()
+
+
+class TestQuarantine:
+    def test_crashing_shard_leaves_others_intact(self):
+        clean = SweepRunner(SPEC, jobs=2, shard_size=3).run()
+        victim = clean.shard_digests[1]
+        faults = FaultPlan(targeted_worker_faults=(
+            (victim, ("crash",) * 10),))
+        config = RuntimeConfig(max_retries=8, backoff_base=0.0,
+                               backoff_cap=0.0, quarantine_after=2)
+        chaotic = SweepRunner(SPEC, jobs=2, shard_size=3, config=config,
+                              faults=faults,
+                              registry=MetricsRegistry()).run()
+        report = chaotic.reports[victim]
+        assert report.status == STATUS_QUARANTINED
+        assert not chaotic.complete
+        # Every other shard's rows are byte-for-byte those of the clean
+        # run; only the quarantined shard's points degraded.
+        for clean_row, row in zip(clean.rows, chaotic.rows):
+            if "shard quarantined" in row.get("error", ""):
+                assert row["point"] in [p.to_dict() for p in SPEC.expand()]
+            else:
+                assert render_row(row) == render_row(clean_row)
+        degraded = [r for r in chaotic.rows
+                    if "shard quarantined" in r.get("error", "")]
+        assert len(degraded) == 3

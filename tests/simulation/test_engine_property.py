@@ -1,0 +1,111 @@
+"""Property suite: vectorized engine == scalar reference == theory.
+
+~200 randomized cases (seeded stdlib :mod:`random`, no hypothesis) over
+random topologies in ``N_n^D`` and random valid schedules.  For each
+case the saturated-mode per-frame per-link success counts from the
+vectorized kernel must equal
+
+* the analytic ``|T(x, y, S)|`` of :func:`repro.core.throughput.
+  guaranteed_slots` with ``S`` the receiver's true other neighbours —
+  the paper's theory/simulation bridge (experiment E8); and
+* the pre-vectorization scalar path (:meth:`Simulator._slow_slot_step`),
+  dictionary for dictionary, energy cell for energy cell.
+
+Marked ``slow``: the fast tier (``-m "not slow"``) skips it, CI's full
+matrix runs it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.throughput import guaranteed_slots
+from repro.simulation.energy import RadioState
+from repro.simulation.engine import Simulator
+from repro.simulation.topology import Topology
+from repro.simulation.traffic import SaturatedTraffic
+
+pytestmark = pytest.mark.slow
+
+CASES_PER_SEED = 25
+SEEDS = range(8)  # 8 * 25 = 200 randomized cases
+
+
+def random_topology(n: int, d: int, rnd: random.Random) -> Topology:
+    """A random member of ``N_n^D``: random edges, greedily degree-capped."""
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    rnd.shuffle(pairs)
+    degree = [0] * n
+    edges = []
+    for u, v in pairs:
+        if rnd.random() < 0.4 and degree[u] < d and degree[v] < d:
+            degree[u] += 1
+            degree[v] += 1
+            edges.append((u, v))
+    return Topology.from_edges(n, edges)
+
+
+def random_schedule(n: int, length: int, rnd: random.Random) -> Schedule:
+    """A random valid schedule: each node transmits, listens or sleeps."""
+    tx, rx = [], []
+    for _ in range(length):
+        t = r = 0
+        for x in range(n):
+            u = rnd.random()
+            if u < 1 / 3:
+                t |= 1 << x
+            elif u < 2 / 3:
+                r |= 1 << x
+        tx.append(t)
+        rx.append(r)
+    return Schedule(n, tuple(tx), tuple(rx))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_vectorized_equals_scalar_equals_theory(seed):
+    rnd = random.Random(0xE8_000 + seed)
+    for _ in range(CASES_PER_SEED):
+        n = rnd.randint(2, 22)
+        d = rnd.randint(1, max(1, n - 1))
+        length = rnd.randint(1, 14)
+        frames = rnd.randint(1, 4)
+        topo = random_topology(n, d, rnd)
+        sched = random_schedule(n, length, rnd)
+        case = f"seed={seed} n={n} d={d} L={length} frames={frames}"
+
+        fast = Simulator(topo, sched, SaturatedTraffic(topo),
+                         instrument=False)
+        assert fast._vector_eligible, case
+        mf = fast.run(frames)
+
+        # Theory: per-frame per-link successes are exactly |T(x, y, S)|
+        # with S the receiver's true other-neighbour set.
+        for x, y in topo.directed_links():
+            others = tuple(sorted(topo.neighbors(y) - {x}))
+            analytic = guaranteed_slots(sched, x, y, others).bit_count()
+            measured = mf.successes.get((x, y), 0)
+            assert measured == frames * analytic, f"{case} link=({x},{y})"
+        # No phantom success keys off the links.
+        links = set(topo.directed_links())
+        assert set(mf.successes) <= links, case
+
+        # Scalar reference: byte-for-byte the same bookkeeping.
+        slow = Simulator(topo, sched, SaturatedTraffic(topo),
+                         instrument=False, vectorize=False)
+        for _ in range(frames * length):
+            slow._slow_slot_step()
+        ms = slow.metrics
+        assert dict(ms.attempts) == dict(mf.attempts), case
+        assert dict(ms.successes) == dict(mf.successes), case
+        assert dict(ms.collisions) == dict(mf.collisions), case
+        assert ms.slots == mf.slots, case
+        np.testing.assert_allclose(slow.energy.spent_mj,
+                                   fast.energy.spent_mj, err_msg=case)
+        for state in RadioState:
+            assert (slow.energy.state_slots[state]
+                    == fast.energy.state_slots[state]).all(), case
+        assert (slow.energy.wakeups == fast.energy.wakeups).all(), case
