@@ -16,9 +16,12 @@ writing Python:
                JSONL result rows out, with ``--jobs``/``--resume``
 ``families``   frame-length table of every substrate family for (n, D)
 ``serve``      always-on asyncio schedule server (HTTP/JSON): hot cache,
-               request coalescing, admission control, ``/metrics``
+               request coalescing, admission control, ``/metrics``;
+               ``--supervise`` wraps it in a restarting supervisor
 ``call``       client for a running server: health, provision, plan,
                metrics scrape
+``store``      schedule-store maintenance: ``scrub`` (integrity pass with
+               quarantine) and ``clear``
 =============  =============================================================
 
 Every command reads/writes the versioned JSON format of
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -143,6 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ready-file", default=None, metavar="PATH",
                    help="write '<host> <port>' here once the listener is "
                         "bound (for scripts; works with --port 0)")
+    p.add_argument("--pid-file", default=None, metavar="PATH",
+                   help="write the serving process's pid here once the "
+                        "listener is bound (chaos drills kill it)")
+    sup = p.add_argument_group("supervision")
+    sup.add_argument("--supervise", action="store_true",
+                     help="run the server as a supervised child: crashed "
+                          "processes restart with seeded backoff; a crash "
+                          "loop exits nonzero")
+    sup.add_argument("--max-restarts", type=int, default=5,
+                     help="crashes tolerated per --restart-window before "
+                          "the supervisor gives up (default 5)")
+    sup.add_argument("--restart-window", type=float, default=60.0,
+                     help="sliding crash-loop window in seconds "
+                          "(default 60)")
+    sup.add_argument("--restart-backoff-base", type=float, default=0.2,
+                     help="base of the exponential restart backoff in "
+                          "seconds (default 0.2)")
+    sup.add_argument("--restart-seed", type=int, default=0,
+                     help="seed for the restart-backoff jitter "
+                          "(reproducible chaos drills)")
+
+    p = sub.add_parser("store", parents=[obs],
+                       help="schedule-store maintenance")
+    p.add_argument("action", choices=["scrub", "clear"],
+                   help="scrub: re-validate every entry and quarantine the "
+                        "bad ones; clear: drop every entry")
+    p.add_argument("--cache-dir", default=None,
+                   help="schedule-store root (default: "
+                        "$XDG_CACHE_HOME/repro/schedules)")
 
     p = sub.add_parser("call", parents=[obs],
                        help="call a running schedule server")
@@ -158,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the retry-backoff jitter (reproducible "
                         "load tests)")
+    p.add_argument("--retry-budget", type=float, default=None,
+                   help="total wall-clock the retries of one request may "
+                        "spend, in seconds (default: unbounded)")
     p.add_argument("-i", "--input", default="-",
                    help="provision: JSONL request file ('-' = stdin)")
     p.add_argument("-o", "--output", default="-",
@@ -406,6 +442,43 @@ def _cmd_provision(args) -> int:
     return 0
 
 
+def _serve_supervised(args) -> int:
+    """``repro serve --supervise``: restart-on-crash around the server."""
+    import signal
+
+    from repro.serve.supervisor import (
+        CRASH_LOOP_EXIT_CODE,
+        Supervisor,
+        SupervisorConfig,
+        serve_child_argv,
+    )
+
+    try:
+        config = SupervisorConfig(max_restarts=args.max_restarts,
+                                  restart_window_s=args.restart_window,
+                                  backoff_base_s=args.restart_backoff_base,
+                                  seed=args.restart_seed)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    supervisor = Supervisor(serve_child_argv(args), config=config,
+                            ready_file=args.ready_file)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, lambda _sig, _frame: supervisor.request_stop())
+    print(f"supervising schedule server "
+          f"(max {config.max_restarts} restarts per "
+          f"{config.restart_window_s:g}s window)",
+          file=sys.stderr, flush=True)
+    code = supervisor.run()
+    if code == CRASH_LOOP_EXIT_CODE:
+        print(f"error: crash loop — more than {config.max_restarts} crashes "
+              f"in {config.restart_window_s:g}s; giving up", file=sys.stderr)
+    elif supervisor.restarts:
+        print(f"supervisor exiting after {supervisor.restarts} restart(s)",
+              file=sys.stderr)
+    return code
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -415,6 +488,8 @@ def _cmd_serve(args) -> int:
     from repro.serve.server import ScheduleServer, ServeConfig
     from repro.service.store import ScheduleStore
 
+    if args.supervise:
+        return _serve_supervised(args)
     try:
         config = ServeConfig(
             host=args.host, port=args.port, jobs=args.jobs,
@@ -433,6 +508,12 @@ def _cmd_serve(args) -> int:
         print(f"serving on http://{host}:{port} "
               f"(jobs={config.jobs}, max_inflight={config.max_inflight})",
               file=sys.stderr, flush=True)
+        if args.pid_file:
+            # Before the ready file, so ready implies the pid is on disk
+            # (chaos drills read it to kill the serving process).
+            tmp = Path(f"{args.pid_file}.tmp")
+            tmp.write_text(f"{os.getpid()}\n")
+            tmp.replace(args.pid_file)
         if args.ready_file:
             # Written atomically so a polling script never reads half a
             # line; the file appearing means the listener is accepting.
@@ -453,8 +534,13 @@ def _cmd_call(args) -> int:
     from repro.serve.client import ServeClient, ServeError
     from repro.service.api import ProvisionRequest
 
-    client = ServeClient(args.host, args.port, timeout=args.timeout,
-                         retries=args.retries, seed=args.seed)
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.timeout,
+                             retries=args.retries, seed=args.seed,
+                             retry_budget_s=args.retry_budget)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         if args.action == "health":
             print(json.dumps(client.health(), indent=2))
@@ -522,6 +608,30 @@ def _cmd_call(args) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_store(args) -> int:
+    from repro.obs.metrics import default_registry
+    from repro.service.store import ScheduleStore
+
+    store = ScheduleStore(args.cache_dir, registry=default_registry())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.cache_dir}",
+              file=sys.stderr)
+        return 0
+    # scrub: the integrity pass.  Exit 1 when anything had to be
+    # quarantined so cron jobs and CI notice silent corruption.
+    report = store.scrub()
+    print(json.dumps(report.to_dict(), indent=2))
+    if not report.clean:
+        print(f"error: {report.corrupt + report.unreadable} bad entries "
+              f"({report.quarantined} moved to {store.quarantine_dir})",
+              file=sys.stderr)
+        return 1
+    print(f"scrubbed {report.scanned} entries in {store.cache_dir}: "
+          "all clean", file=sys.stderr)
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -759,6 +869,7 @@ _COMMANDS = {
     "provision": _cmd_provision,
     "serve": _cmd_serve,
     "call": _cmd_call,
+    "store": _cmd_store,
     "verify": _cmd_verify,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,

@@ -12,7 +12,10 @@ frozen, seeded description of every fault the run should experience:
   :class:`repro.simulation.engine.Simulator`;
 * **worker faults** — crash / hang / slow / error injections for the
   provisioning runtime (:mod:`repro.service.runtime`), used by the crash-path
-  tests and chaos benchmarks.
+  tests and chaos benchmarks;
+* **network faults** — per-connection refuse / reset / delay / truncate
+  injections for the chaos proxy (:mod:`repro.serve.chaos`), so the serve
+  tier's failure behaviour under a misbehaving network is reproducible.
 
 Every decision is a pure function of ``(seed, identifiers)`` — hashed with
 SHA-256, never drawn from shared mutable RNG state — so two runs with the
@@ -35,11 +38,17 @@ import numpy as np
 
 from repro._validation import check_int, check_probability
 
-__all__ = ["FaultPlan", "ActiveFaults", "WORKER_FAULT_KINDS", "unit_hash"]
+__all__ = ["FaultPlan", "ActiveFaults", "WORKER_FAULT_KINDS",
+           "PROXY_FAULT_KINDS", "unit_hash"]
 
 #: Fault kinds a :class:`FaultPlan` may inject into a pool worker.  ``"ok"``
 #: is the explicit no-op placeholder inside targeted sequences.
 WORKER_FAULT_KINDS = ("crash", "hang", "slow", "error", "ok")
+
+#: Fault kinds the chaos proxy may inject into one proxied connection:
+#: refuse it outright, reset it mid-stream, delay its bytes, or truncate
+#: the upstream response.
+PROXY_FAULT_KINDS = ("refuse", "reset", "delay", "truncate")
 
 
 def unit_hash(*parts: Any) -> float:
@@ -85,6 +94,14 @@ class FaultPlan:
         Scripted per-task injections: ``(digest, (kind, kind, ...))``
         pairs, one kind per attempt (attempts beyond the sequence run
         clean).  Takes precedence over the rate-based draw for that task.
+    proxy_refuse_rate, proxy_reset_rate, proxy_delay_rate, proxy_truncate_rate:
+        Per-connection probabilities that the chaos proxy refuses the
+        connection outright, resets it mid-stream, delays its bytes, or
+        truncates the upstream response.  Stacked in that order from one
+        uniform draw keyed on the connection index.
+    proxy_delay_seconds:
+        Base duration of a ``delay`` injection; the actual delay is this
+        scaled by a seeded jitter in ``[0.5, 1.5)``.
     """
 
     seed: int = 0
@@ -99,19 +116,32 @@ class FaultPlan:
     hang_seconds: float = 30.0
     slow_seconds: float = 0.05
     targeted_worker_faults: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    proxy_refuse_rate: float = 0.0
+    proxy_reset_rate: float = 0.0
+    proxy_delay_rate: float = 0.0
+    proxy_truncate_rate: float = 0.0
+    proxy_delay_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         check_int(self.seed, "seed", minimum=0)
         for name in ("node_crash_rate", "node_recover_rate", "link_loss",
                      "worker_crash_rate", "worker_hang_rate",
-                     "worker_slow_rate", "worker_error_rate"):
+                     "worker_slow_rate", "worker_error_rate",
+                     "proxy_refuse_rate", "proxy_reset_rate",
+                     "proxy_delay_rate", "proxy_truncate_rate"):
             check_probability(getattr(self, name), name)
         total = (self.worker_crash_rate + self.worker_hang_rate
                  + self.worker_slow_rate + self.worker_error_rate)
         if total > 1.0:
             raise ValueError(f"worker fault rates sum to {total} > 1")
+        proxy_total = (self.proxy_refuse_rate + self.proxy_reset_rate
+                       + self.proxy_delay_rate + self.proxy_truncate_rate)
+        if proxy_total > 1.0:
+            raise ValueError(f"proxy fault rates sum to {proxy_total} > 1")
         if self.hang_seconds < 0 or self.slow_seconds < 0:
             raise ValueError("hang_seconds/slow_seconds must be >= 0")
+        if self.proxy_delay_seconds < 0:
+            raise ValueError("proxy_delay_seconds must be >= 0")
         for entry in self.node_outages:
             node, start, end = entry
             check_int(node, "node_outages node", minimum=0)
@@ -144,6 +174,13 @@ class FaultPlan:
         return bool(self.worker_crash_rate > 0 or self.worker_hang_rate > 0
                     or self.worker_slow_rate > 0 or self.worker_error_rate > 0
                     or self.targeted_worker_faults)
+
+    @property
+    def proxy_active(self) -> bool:
+        """True when the plan injects any chaos-proxy network fault."""
+        return bool(self.proxy_refuse_rate > 0 or self.proxy_reset_rate > 0
+                    or self.proxy_delay_rate > 0
+                    or self.proxy_truncate_rate > 0)
 
     # ------------------------------------------------------------------
     # worker-side decisions (provisioning runtime)
@@ -178,6 +215,45 @@ class FaultPlan:
     def backoff_jitter(self, digest: str, attempt: int) -> float:
         """Seeded retry-jitter factor in ``[0.5, 1.5)`` for one backoff."""
         return 0.5 + unit_hash(self.seed, "backoff", digest, attempt)
+
+    # ------------------------------------------------------------------
+    # network-side decisions (chaos proxy)
+    # ------------------------------------------------------------------
+    def proxy_fault(self, connection: int) -> str | None:
+        """The fault (if any) to inject into proxied connection *connection*.
+
+        One :func:`unit_hash` draw keyed on ``(seed, connection)`` is
+        split across the four rate thresholds, so a chaos run's fault
+        sequence is a pure function of the seed and the accept order —
+        byte-reproducible across reruns.
+        """
+        check_int(connection, "connection", minimum=0)
+        if not self.proxy_active:
+            return None
+        u = unit_hash(self.seed, "proxy", connection)
+        for kind, rate in (("refuse", self.proxy_refuse_rate),
+                           ("reset", self.proxy_reset_rate),
+                           ("delay", self.proxy_delay_rate),
+                           ("truncate", self.proxy_truncate_rate)):
+            if u < rate:
+                return kind
+            u -= rate
+        return None
+
+    def proxy_delay(self, connection: int) -> float:
+        """Seconds a ``delay`` injection holds this connection's bytes."""
+        return self.proxy_delay_seconds * (
+            0.5 + unit_hash(self.seed, "proxy-delay", connection))
+
+    def proxy_cut(self, connection: int, window: int) -> int:
+        """Byte offset in ``[0, window)`` where a reset/truncate cuts.
+
+        Deterministic in ``(seed, connection)``; the proxy applies it to
+        the upstream response stream, so the same seed severs the same
+        connection at the same byte.
+        """
+        check_int(window, "window", minimum=1)
+        return int(unit_hash(self.seed, "proxy-cut", connection) * window)
 
     # ------------------------------------------------------------------
     # simulator-side decisions
@@ -217,6 +293,11 @@ class FaultPlan:
                 digest: list(kinds)
                 for digest, kinds in self.targeted_worker_faults
             },
+            "proxy_refuse_rate": self.proxy_refuse_rate,
+            "proxy_reset_rate": self.proxy_reset_rate,
+            "proxy_delay_rate": self.proxy_delay_rate,
+            "proxy_truncate_rate": self.proxy_truncate_rate,
+            "proxy_delay_seconds": self.proxy_delay_seconds,
         }
 
     @classmethod

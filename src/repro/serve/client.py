@@ -12,9 +12,17 @@ sockets) and responses carrying a code in
 The backoff jitter is **seeded** via the same
 :meth:`repro.faults.FaultPlan.backoff_jitter` draw the fault-tolerant
 runtime uses — two clients with the same seed back off identically, so a
-load test's retry storm is byte-reproducible.  Anything else (``400``,
-``404``, ``504``...) raises :class:`ServeError` immediately: retrying a
-request the server *rejected* cannot help.
+load test's retry storm is byte-reproducible.  When a retryable response
+carries the server's ``retry_after_s`` hint, the hint (capped at
+*backoff_cap*) replaces the seeded backoff for that retry — the server
+knows its own queue depth better than the client does.  Anything else
+(``400``, ``404``, ``504``...) raises :class:`ServeError` immediately:
+retrying a request the server *rejected* cannot help.
+
+*retry_budget_s* bounds the whole retry storm in wall-clock terms: once
+the next sleep would overrun the budget, the client stops retrying and
+surfaces the final outcome instead — a saturated fleet cannot amplify
+itself indefinitely.
 """
 
 from __future__ import annotations
@@ -44,13 +52,25 @@ class ServeError(RuntimeError):
         The protocol error code of the final response (see
         :mod:`repro.serve.protocol`), or ``"unavailable"`` when the
         server could not be reached at all.
+    retry_after_s:
+        The server's backoff hint from the final response, or ``None``
+        when it carried none — failover layers reuse it when spreading
+        the retry over other endpoints.
     """
 
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(self, status: int, code: str, message: str, *,
+                 retry_after_s: float | None = None):
         super().__init__(f"{code}: {message}")
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a retry (here or elsewhere) could plausibly help."""
+        return self.code == "unavailable" \
+            or self.code in protocol.RETRYABLE_CODES
 
 
 class ServeClient:
@@ -63,12 +83,16 @@ class ServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8177, *,
                  timeout: float = 60.0, retries: int = 3,
                  backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 retry_budget_s: float | None = None,
                  seed: int = 0) -> None:
         """Configure the endpoint and the retry/backoff schedule.
 
         *retries* counts extra attempts beyond the first; retry ``k``
         waits ``min(cap, base * 2**(k-1))`` seconds scaled by the seeded
-        jitter in ``[0.5, 1.5)``.
+        jitter in ``[0.5, 1.5)``, unless the response carried a
+        ``retry_after_s`` hint (used instead, capped at *backoff_cap*).
+        *retry_budget_s* is the wall-clock budget the retries of one
+        request may spend in total; ``None`` means unbounded.
         """
         self.host = host
         self.port = check_int(port, "port", minimum=1)
@@ -76,6 +100,9 @@ class ServeClient:
         self.retries = check_int(retries, "retries", minimum=0)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        if retry_budget_s is not None and retry_budget_s < 0:
+            raise ValueError("retry_budget_s must be >= 0 or None")
+        self.retry_budget_s = retry_budget_s
         self._jitter = FaultPlan(seed=seed)
 
     # ------------------------------------------------------------------
@@ -87,23 +114,39 @@ class ServeClient:
                    self.backoff_base * 2.0 ** max(0, attempt - 1))
         return base * self._jitter.backoff_jitter(path, attempt)
 
+    def retry_delay(self, path: str, attempt: int, *,
+                    retry_after_s: float | None = None) -> float:
+        """Seconds to sleep before retry *attempt*, honouring the hint.
+
+        The server's ``retry_after_s`` hint wins when present (capped at
+        *backoff_cap* so a confused server cannot park a client); absent
+        a hint the seeded :meth:`backoff_delay` applies.
+        """
+        if retry_after_s is not None:
+            return min(retry_after_s, self.backoff_cap)
+        return self.backoff_delay(path, attempt)
+
     def request(self, method: str, path: str,
                 body: dict[str, Any] | None = None) -> tuple[int, bytes, str]:
         """One HTTP exchange with retries; returns
         ``(status, body_bytes, content_type)`` of the final response.
 
         Raises :class:`ServeError` when the final outcome is a
-        connection failure or a retryable error code that never cleared.
-        Non-retryable error responses are returned, not raised — callers
-        that want exceptions use :meth:`call`.
+        connection failure.  Error responses — including a retryable code
+        that never cleared within *retries*/*retry_budget_s* — are
+        returned, not raised; callers that want exceptions use
+        :meth:`call`.
         """
         payload = None
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
+        deadline = None if self.retry_budget_s is None \
+            else time.monotonic() + self.retry_budget_s
         last_exc: OSError | None = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.backoff_delay(path, attempt))
+        attempt = 0
+        while True:
+            reached = False
+            hint: float | None = None
             conn = http.client.HTTPConnection(self.host, self.port,
                                              timeout=self.timeout)
             try:
@@ -113,26 +156,37 @@ class ServeClient:
                 data = response.read()
                 status = response.status
                 content_type = response.getheader("Content-Type", "")
+                reached = True
             except (OSError, http.client.HTTPException) as exc:
                 last_exc = exc if isinstance(exc, OSError) \
                     else OSError(str(exc))
-                continue
             finally:
                 conn.close()
-            if _error_code(status, data) in protocol.RETRYABLE_CODES \
-                    and attempt < self.retries:
-                continue
+            if reached and _error_code(status, data) \
+                    not in protocol.RETRYABLE_CODES:
+                return status, data, content_type
+            if reached:
+                hint = _retry_hint(data)
+            if attempt >= self.retries:
+                break
+            attempt += 1
+            delay = self.retry_delay(path, attempt, retry_after_s=hint)
+            if deadline is not None and time.monotonic() + delay > deadline:
+                break  # the budget is spent: surface the final outcome
+            time.sleep(delay)
+        if reached:
             return status, data, content_type
         raise ServeError(0, "unavailable",
                          f"{self.host}:{self.port} unreachable after "
-                         f"{self.retries + 1} attempts: {last_exc}")
+                         f"{attempt + 1} attempts: {last_exc}")
 
     def call(self, method: str, path: str,
              body: dict[str, Any] | None = None) -> dict[str, Any]:
         """A JSON exchange; returns the parsed response document.
 
         Raises :class:`ServeError` for any non-200 outcome, carrying the
-        server's versioned error code.
+        server's versioned error code (and its ``retry_after_s`` hint,
+        when present).
         """
         status, data, _content_type = self.request(method, path, body)
         try:
@@ -145,7 +199,8 @@ class ServeClient:
         message = "unparseable response body"
         if isinstance(doc, dict):
             message = str(doc.get("error", {}).get("message", message))
-        raise ServeError(status, code, message)
+        raise ServeError(status, code, message,
+                         retry_after_s=protocol.retry_after_hint(doc))
 
     # ------------------------------------------------------------------
     # endpoints
@@ -195,6 +250,15 @@ class ServeClient:
             "n": n, "d": d, "max_duty": max_duty, "balanced": balanced,
             "include_schedule": include_schedule})
         return doc["result"]
+
+
+def _retry_hint(data: bytes) -> float | None:
+    """The ``retry_after_s`` hint of a raw response body, if any."""
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except Exception:  # noqa: BLE001 - any malformed body: no hint
+        return None
+    return protocol.retry_after_hint(doc)
 
 
 def _error_code(status: int, data: bytes) -> str | None:

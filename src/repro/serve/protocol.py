@@ -17,6 +17,13 @@ Error codes are versioned contract, not prose: clients branch on
 ``error.code`` (see :data:`RETRYABLE_CODES`), never on the message text.
 The HTTP status of each code is fixed by :data:`ERROR_STATUS`.
 
+Retryable errors (``overloaded``, ``draining``) may additionally carry a
+``retry_after_s`` hint inside the ``error`` object — seconds the server
+suggests waiting before the retry, derived from its current queue depth.
+The field is additive and optional (protocol version stays 1): old
+clients ignore it, new clients fall back to their own seeded backoff
+when it is absent.
+
 Domain failures — an infeasible duty budget, impossible class parameters —
 are *not* protocol errors: they travel as per-request ``error`` fields
 inside a ``200`` response, exactly like a ``repro provision`` result line.
@@ -34,8 +41,8 @@ __all__ = ["PROTOCOL_VERSION", "MAX_BATCH", "ProtocolError",
            "ERR_BAD_REQUEST", "ERR_NOT_FOUND", "ERR_METHOD_NOT_ALLOWED",
            "ERR_PAYLOAD_TOO_LARGE", "ERR_OVERLOADED", "ERR_DRAINING",
            "ERR_DEADLINE_EXCEEDED", "ERR_INTERNAL", "ERROR_STATUS",
-           "RETRYABLE_CODES", "ok_doc", "error_doc", "parse_body",
-           "parse_provision_body", "parse_plan_body"]
+           "RETRYABLE_CODES", "ok_doc", "error_doc", "retry_after_hint",
+           "parse_body", "parse_provision_body", "parse_plan_body"]
 
 #: Version stamped into every response body.  Bump on any incompatible
 #: change to the envelope, the error codes or the endpoint schemas.
@@ -86,12 +93,14 @@ RETRYABLE_CODES = frozenset({ERR_OVERLOADED, ERR_DRAINING})
 class ProtocolError(ValueError):
     """A request the server refuses before any planner work happens."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str, *,
+                 retry_after_s: float | None = None):
         if code not in ERROR_STATUS:
             raise ValueError(f"unknown protocol error code {code!r}")
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
 
     @property
     def status(self) -> int:
@@ -100,7 +109,8 @@ class ProtocolError(ValueError):
 
     def to_doc(self) -> dict[str, Any]:
         """The response body for this error."""
-        return error_doc(self.code, self.message)
+        return error_doc(self.code, self.message,
+                         retry_after_s=self.retry_after_s)
 
 
 def ok_doc(**payload: Any) -> dict[str, Any]:
@@ -108,10 +118,36 @@ def ok_doc(**payload: Any) -> dict[str, Any]:
     return {"protocol": PROTOCOL_VERSION, "ok": True, **payload}
 
 
-def error_doc(code: str, message: str) -> dict[str, Any]:
-    """A failure envelope carrying one versioned error code."""
-    return {"protocol": PROTOCOL_VERSION, "ok": False,
-            "error": {"code": code, "message": message}}
+def error_doc(code: str, message: str, *,
+              retry_after_s: float | None = None) -> dict[str, Any]:
+    """A failure envelope carrying one versioned error code.
+
+    *retry_after_s* (retryable codes only, optional) is the server's
+    backoff hint in seconds; ``None`` omits the field entirely.
+    """
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"protocol": PROTOCOL_VERSION, "ok": False, "error": error}
+
+
+def retry_after_hint(doc: Any) -> float | None:
+    """The ``error.retry_after_s`` hint of a response document, if sane.
+
+    Returns ``None`` for non-error documents, absent hints and anything
+    mis-typed or negative — a malformed hint must never turn into a
+    client sleep.
+    """
+    if not isinstance(doc, dict):
+        return None
+    error = doc.get("error")
+    if not isinstance(error, dict):
+        return None
+    hint = error.get("retry_after_s")
+    if isinstance(hint, (int, float)) and not isinstance(hint, bool) \
+            and hint >= 0:
+        return float(hint)
+    return None
 
 
 def parse_body(raw: bytes) -> dict[str, Any]:

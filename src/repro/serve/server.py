@@ -360,17 +360,29 @@ class ScheduleServer:
         raise protocol.ProtocolError(protocol.ERR_NOT_FOUND,
                                      f"no such endpoint: {path}")
 
+    def _retry_after_hint(self) -> float:
+        """Backoff hint (seconds) for refused requests, from queue depth.
+
+        A small floor plus a linear term per request queued beyond the
+        worker pool, capped at 5s — deterministic in the current load, so
+        a deeper queue tells clients to stay away longer.
+        """
+        queued = max(0, self._active - self.config.jobs)
+        return round(min(5.0, 0.05 + 0.01 * queued), 4)
+
     async def _admit(self, path: str, raw: bytes) -> tuple[int, bytes, str]:
         """Admission control around the two provisioning endpoints."""
         if self._draining:
             raise protocol.ProtocolError(
                 protocol.ERR_DRAINING,
-                "server is draining for shutdown; retry elsewhere")
+                "server is draining for shutdown; retry elsewhere",
+                retry_after_s=self._retry_after_hint())
         if self._active >= self.config.max_inflight:
             raise protocol.ProtocolError(
                 protocol.ERR_OVERLOADED,
                 f"admission bound of {self.config.max_inflight} in-flight "
-                "requests reached; retry with backoff")
+                "requests reached; retry with backoff",
+                retry_after_s=self._retry_after_hint())
         self._active += 1
         self._inflight_gauge.set(self._active)
         try:

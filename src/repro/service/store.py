@@ -21,8 +21,13 @@ a superset of a flashable schedule file.  Durability rules:
 * writes are atomic (`tmp` file + ``os.replace``) so a crashed process
   never leaves a half-written entry;
 * loads are corruption-tolerant: any unreadable, unparsable, key-mismatched
-  or semantically invalid entry is *evicted* (unlinked) and reported as a
-  miss, never raised — the worst case is recomputation;
+  or semantically invalid entry is **quarantined** — moved into
+  ``cache_dir/quarantine/`` for post-mortem instead of silently destroyed
+  — and reported as a miss, never raised; the worst case is
+  recomputation;
+* :meth:`ScheduleStore.scrub` is the offline integrity pass: it re-hashes
+  and re-validates every entry on disk (``repro store scrub``), so silent
+  corruption is found before a client ever asks for the entry;
 * bumping :data:`repro.core.serialization.FORMAT_VERSION` invalidates
   every entry implicitly, because the version participates in the key.
 
@@ -53,8 +58,13 @@ from repro.obs.metrics import MetricsRegistry
 
 _log = get_logger("service.store")
 
-__all__ = ["ScheduleStore", "StoreStats", "eval_key", "plan_key",
-           "key_digest", "default_cache_dir"]
+__all__ = ["ScheduleStore", "StoreStats", "ScrubReport", "eval_key",
+           "plan_key", "key_digest", "default_cache_dir", "QUARANTINE_DIR"]
+
+#: Subdirectory of the cache root that holds quarantined entries.  Its
+#: name is longer than the two-character digest shards, so entry walks
+#: (``glob("??/*.json")``) can never pick quarantined files back up.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -260,6 +270,52 @@ class StoreStats:
         return doc
 
 
+class ScrubReport:
+    """Outcome of one :meth:`ScheduleStore.scrub` integrity pass.
+
+    Attributes
+    ----------
+    scanned, ok:
+        Entries examined and entries that re-validated end to end.
+    corrupt, unreadable:
+        Entries whose payload failed validation (bad JSON, digest or key
+        mismatch, semantically invalid plan) and entries the process
+        could not read at all (I/O or permission errors).
+    quarantined:
+        Entries actually moved into ``cache_dir/quarantine/`` — lags
+        ``corrupt + unreadable`` only when the move itself fails.
+    problems:
+        ``(entry_name, reason)`` per bad entry, in walk order.
+    """
+
+    def __init__(self) -> None:
+        """Start an empty report (all counts zero)."""
+        self.scanned = 0
+        self.ok = 0
+        self.corrupt = 0
+        self.unreadable = 0
+        self.quarantined = 0
+        self.problems: list[tuple[str, str]] = []
+
+    @property
+    def clean(self) -> bool:
+        """True when every scanned entry re-validated."""
+        return self.corrupt == 0 and self.unreadable == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON document ``repro store scrub`` prints."""
+        return {
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "corrupt": self.corrupt,
+            "unreadable": self.unreadable,
+            "quarantined": self.quarantined,
+            "clean": self.clean,
+            "problems": [{"entry": name, "reason": reason}
+                         for name, reason in self.problems],
+        }
+
+
 class ScheduleStore:
     """Persistent schedule cache with an in-memory LRU front.
 
@@ -320,11 +376,28 @@ class ScheduleStore:
     # maintenance
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Remove every entry (disk and memory); returns entries removed."""
+        """Remove every entry (disk and memory); returns entries removed.
+
+        Quarantined files are evidence, not entries — they survive a
+        clear and are removed only by an explicit
+        :meth:`clear_quarantine`.
+        """
         self._memory.clear()
         removed = 0
         if self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*/*.json"):
+            for path in self._entry_paths():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+        return removed
+
+    def clear_quarantine(self) -> int:
+        """Delete quarantined files; returns how many were removed."""
+        removed = 0
+        if self.quarantine_dir.is_dir():
+            for path in self.quarantine_dir.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
@@ -333,15 +406,94 @@ class ScheduleStore:
         return removed
 
     def __len__(self) -> int:
-        """Number of entries currently on disk."""
+        """Number of entries currently on disk (quarantine excluded)."""
         if not self.cache_dir.is_dir():
             return 0
-        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def entry_path(self, key: dict[str, Any]) -> Path:
         """The on-disk location a key document maps to (exists or not)."""
         digest = key_digest(key)
         return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (``cache_dir/quarantine/``)."""
+        return self.cache_dir / QUARANTINE_DIR
+
+    def scrub(self) -> ScrubReport:
+        """Re-validate every on-disk entry; quarantine the bad ones.
+
+        The integrity pass behind ``repro store scrub``: each entry is
+        re-read, re-hashed (its filename must equal the digest of its
+        embedded key) and fully decoded.  Entries failing any of that
+        are moved into :attr:`quarantine_dir` and dropped from the LRU
+        front, so a later :meth:`_get` can never serve them.  Progress
+        lands in the ``repro_store_scrub_*`` counters; the returned
+        :class:`ScrubReport` is the caller-facing summary.
+        """
+        registry = self.stats.registry
+        registry.counter(
+            "repro_store_scrub_runs_total",
+            "Integrity passes completed over the schedule store."
+        ).labels().inc()
+        entries = registry.counter(
+            "repro_store_scrub_entries_total",
+            "Entries examined by store scrubs, by verdict "
+            "(ok / corrupt / unreadable).")
+        quarantined = registry.counter(
+            "repro_store_scrub_quarantined_total",
+            "Entries moved into quarantine by store scrubs.").labels()
+        report = ScrubReport()
+        for path in sorted(self._entry_paths()):
+            report.scanned += 1
+            try:
+                text = path.read_text()
+            except FileNotFoundError:  # pragma: no cover - concurrent removal
+                report.scanned -= 1
+                continue
+            except OSError as exc:
+                reason = f"unreadable: {type(exc).__name__}: {exc}"
+                report.unreadable += 1
+                entries.labels(result="unreadable").inc()
+                self._scrub_bad(path, reason, report, quarantined)
+                continue
+            try:
+                doc = json.loads(text)
+                key = doc["key"] if isinstance(doc, dict) else None
+                if not isinstance(key, dict):
+                    raise ValueError("entry carries no key document")
+                if key_digest(key) != path.stem:
+                    raise ValueError("entry digest does not match its key "
+                                     "(renamed or tampered file)")
+                self._decode(doc, key)
+            except Exception as exc:  # noqa: BLE001 - verdict, not control
+                reason = f"{type(exc).__name__}: {exc}"
+                report.corrupt += 1
+                entries.labels(result="corrupt").inc()
+                self._scrub_bad(path, reason, report, quarantined)
+                continue
+            report.ok += 1
+            entries.labels(result="ok").inc()
+        _log.info("store_scrub_done", extra={
+            "scanned": report.scanned, "ok": report.ok,
+            "corrupt": report.corrupt, "unreadable": report.unreadable,
+            "quarantined": report.quarantined})
+        return report
+
+    def _scrub_bad(self, path: Path, reason: str, report: ScrubReport,
+                   quarantined_counter: Any) -> None:
+        report.problems.append((path.name, reason))
+        self.stats.record_corruption(f"{path.name}: {reason}")
+        _log.warning("store_scrub_bad_entry",
+                     extra={"entry": path.name, "reason": reason})
+        if self._quarantine(path):
+            report.quarantined += 1
+            quarantined_counter.inc()
+
+    def _entry_paths(self) -> Any:
+        """Entry files under the two-character digest shards only."""
+        return self.cache_dir.glob("??/*.json")
 
     # ------------------------------------------------------------------
     # internals
@@ -364,17 +516,15 @@ class ScheduleStore:
             return None
         except Exception as exc:
             # A bad cache entry is evicted and recomputed, never fatal —
-            # but never silently either: the stats record what happened.
+            # but never silently either: the stats record what happened
+            # and the file itself survives in quarantine for post-mortem.
             self.stats.record_corruption(
                 f"{path.name}: {type(exc).__name__}: {exc}")
             self.stats.record_miss()
             _log.warning("store_corrupt_entry", extra={
                 "entry": path.name, "reason": f"{type(exc).__name__}: {exc}"})
-            try:
-                path.unlink()
+            if self._quarantine(path):
                 self.stats.record_eviction()
-            except OSError:  # pragma: no cover - concurrent removal
-                pass
             return None
         self.stats.record_disk_hit()
         self._remember(digest, plan)
@@ -394,6 +544,24 @@ class ScheduleStore:
         os.replace(tmp, path)
         self.stats.record_store()
         self._remember(digest, plan)
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move a bad entry into the quarantine dir; True on success.
+
+        ``os.replace`` keeps the move atomic and needs no read access to
+        the file itself, so even unreadable entries can be quarantined.
+        The digest is also dropped from the LRU front — a quarantined
+        entry must never be served from memory either.
+        """
+        with self._memory_lock:
+            self._memory.pop(path.stem, None)
+        target = self.quarantine_dir / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            return True
+        except OSError:  # pragma: no cover - concurrent removal
+            return not path.exists()
 
     def _remember(self, digest: str, plan: Plan) -> None:
         if self.memory_slots == 0:

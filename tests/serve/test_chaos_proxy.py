@@ -1,0 +1,162 @@
+"""The chaos proxy: seeded fault draws, injected faults, determinism."""
+
+import socket
+
+import pytest
+
+from repro.faults import PROXY_FAULT_KINDS, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.chaos import BackgroundProxy
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import BackgroundServer, ServeConfig
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestProxyDraws:
+    def test_fault_draw_is_deterministic(self):
+        plan = FaultPlan(seed=7, proxy_refuse_rate=0.2, proxy_reset_rate=0.2,
+                         proxy_delay_rate=0.2, proxy_truncate_rate=0.2)
+        twin = FaultPlan(seed=7, proxy_refuse_rate=0.2, proxy_reset_rate=0.2,
+                         proxy_delay_rate=0.2, proxy_truncate_rate=0.2)
+        draws = [plan.proxy_fault(i) for i in range(64)]
+        assert draws == [twin.proxy_fault(i) for i in range(64)]
+        assert set(draws) > {None}  # at 80% total rate some faults landed
+
+    def test_distinct_seeds_distinct_sequences(self):
+        kwargs = dict(proxy_refuse_rate=0.25, proxy_reset_rate=0.25,
+                      proxy_delay_rate=0.25, proxy_truncate_rate=0.25)
+        a = FaultPlan(seed=1, **kwargs)
+        b = FaultPlan(seed=2, **kwargs)
+        assert [a.proxy_fault(i) for i in range(64)] \
+            != [b.proxy_fault(i) for i in range(64)]
+
+    def test_full_rate_forces_each_kind(self):
+        for kind in PROXY_FAULT_KINDS:
+            plan = FaultPlan(**{f"proxy_{kind}_rate": 1.0})
+            assert all(plan.proxy_fault(i) == kind for i in range(16))
+
+    def test_rates_validate(self):
+        with pytest.raises(ValueError, match="proxy_reset_rate"):
+            FaultPlan(proxy_reset_rate=1.5)
+        with pytest.raises(ValueError, match="sum"):
+            FaultPlan(proxy_reset_rate=0.6, proxy_refuse_rate=0.6)
+        with pytest.raises(ValueError, match="proxy_delay_seconds"):
+            FaultPlan(proxy_delay_seconds=-1.0)
+
+    def test_delay_and_cut_are_seeded_and_bounded(self):
+        plan = FaultPlan(seed=3, proxy_delay_rate=1.0,
+                         proxy_delay_seconds=0.2)
+        for i in range(32):
+            assert plan.proxy_delay(i) == plan.proxy_delay(i)
+            assert 0.1 <= plan.proxy_delay(i) < 0.3  # 0.2 * [0.5, 1.5)
+            assert 0 <= plan.proxy_cut(i, 64) < 64
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(seed=9, proxy_reset_rate=0.1,
+                         proxy_truncate_rate=0.2, proxy_delay_seconds=0.5)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.proxy_active
+
+    def test_clean_plan_is_inactive(self):
+        assert not FaultPlan().proxy_active
+        assert FaultPlan().proxy_fault(0) is None
+
+
+class TestPassThrough:
+    def test_clean_proxy_is_transparent(self):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            with BackgroundProxy("127.0.0.1", bs.port) as bp:
+                client = ServeClient(bp.host, bp.port, retries=0)
+                doc = client.health()
+                assert doc["ok"] is True
+                results = client.provision(
+                    [{"n": 12, "d": 2, "max_duty": 0.5}],
+                    include_schedules=False)
+                assert "error" not in results[0]
+                assert all(kind == "ok" for _i, kind in bp.fault_log)
+
+    def test_connection_indices_count_up(self):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            with BackgroundProxy("127.0.0.1", bs.port) as bp:
+                client = ServeClient(bp.host, bp.port, retries=0)
+                for _ in range(3):
+                    client.health()
+                assert [i for i, _k in bp.fault_log] == [0, 1, 2]
+
+
+class TestInjectedFaults:
+    def test_refuse_storm_is_client_visible(self):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            plan = FaultPlan(proxy_refuse_rate=1.0)
+            with BackgroundProxy("127.0.0.1", bs.port, plan=plan) as bp:
+                client = ServeClient(bp.host, bp.port, retries=1,
+                                     backoff_base=0.001)
+                with pytest.raises(ServeError) as excinfo:
+                    client.health()
+                assert excinfo.value.code == "unavailable"
+                assert all(kind == "refuse" for _i, kind in bp.fault_log)
+
+    @pytest.mark.parametrize("kind", ["reset", "truncate"])
+    def test_severed_response_is_client_visible(self, kind):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            plan = FaultPlan(**{f"proxy_{kind}_rate": 1.0})
+            with BackgroundProxy("127.0.0.1", bs.port, plan=plan) as bp:
+                client = ServeClient(bp.host, bp.port, retries=0)
+                with pytest.raises(ServeError) as excinfo:
+                    client.health()
+                assert excinfo.value.code == "unavailable"
+
+    def test_delay_only_slows_but_succeeds(self):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            plan = FaultPlan(proxy_delay_rate=1.0, proxy_delay_seconds=0.01)
+            with BackgroundProxy("127.0.0.1", bs.port, plan=plan) as bp:
+                client = ServeClient(bp.host, bp.port, retries=0)
+                assert client.health()["ok"] is True
+                assert bp.fault_log == [(0, "delay")]
+
+    def test_dead_upstream_counts_as_upstream_failure(self):
+        reg = MetricsRegistry()
+        with BackgroundProxy("127.0.0.1", _free_port(),
+                             registry=reg) as bp:
+            client = ServeClient(bp.host, bp.port, retries=0, timeout=5.0)
+            with pytest.raises(ServeError):
+                client.health()
+            counter = reg.get("repro_chaos_upstream_failures_total")
+            assert counter.value() == 1
+
+    def test_connection_metrics_by_fault(self):
+        reg = MetricsRegistry()
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            plan = FaultPlan(proxy_delay_rate=1.0, proxy_delay_seconds=0.001)
+            with BackgroundProxy("127.0.0.1", bs.port, plan=plan,
+                                 registry=reg) as bp:
+                ServeClient(bp.host, bp.port, retries=0).health()
+        counter = reg.get("repro_chaos_connections_total")
+        assert counter.value(fault="delay") == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_log(self):
+        """The acceptance property: seed + accept order => fault sequence."""
+        plan = FaultPlan(seed=11, proxy_refuse_rate=0.2,
+                         proxy_reset_rate=0.2, proxy_truncate_rate=0.2)
+        logs = []
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            for _run in range(2):
+                with BackgroundProxy("127.0.0.1", bs.port, plan=plan) as bp:
+                    client = ServeClient(bp.host, bp.port, retries=0,
+                                         timeout=5.0)
+                    for _ in range(12):
+                        try:
+                            client.health()
+                        except ServeError:
+                            pass
+                    logs.append(bp.fault_log)
+        assert logs[0] == logs[1]
+        assert any(kind != "ok" for _i, kind in logs[0])

@@ -1,6 +1,7 @@
 """The serve client: seeded backoff, retry policy, failure reporting."""
 
 import socket
+import time
 
 import pytest
 
@@ -64,21 +65,23 @@ class TestRetries:
             client = ServeClient(bs.host, bs.port, retries=3,
                                  backoff_base=0.001)
             attempts = []
-            real_delay = client.backoff_delay
 
-            def lifting_delay(path, attempt):
+            def lifting_delay(path, attempt, *, retry_after_s=None):
                 # First backoff sleep: lift the overload so the retry
                 # lands on a healthy admission bound.  ServeConfig is
                 # frozen; tests may pry it open.
-                attempts.append(attempt)
+                attempts.append((attempt, retry_after_s))
                 object.__setattr__(bs.server.config, "max_inflight", 64)
-                return real_delay(path, attempt)
+                return 0.001
 
-            monkeypatch.setattr(client, "backoff_delay", lifting_delay)
+            monkeypatch.setattr(client, "retry_delay", lifting_delay)
             results = client.provision(
                 [ProvisionRequest(12, 2, 0.5)], include_schedules=False)
             assert "error" not in results[0]
-            assert attempts == [1]  # exactly one retry was needed
+            assert len(attempts) == 1  # exactly one retry was needed
+            attempt, hint = attempts[0]
+            assert attempt == 1
+            assert hint is not None and hint > 0  # the server sent a hint
 
     def test_overload_without_retries_raises_immediately(self):
         with BackgroundServer(ServeConfig(port=0, max_inflight=0)) as bs:
@@ -99,3 +102,57 @@ class TestRetries:
             counter = reg.get("repro_serve_requests_total")
             assert counter.value(endpoint="/no-such-endpoint",
                                  code="404") == 1  # no retries happened
+
+
+class TestRetryAfterHint:
+    def test_hint_overrides_the_seeded_backoff(self):
+        client = ServeClient(port=1, seed=0, backoff_cap=2.0)
+        assert client.retry_delay("/p", 1, retry_after_s=0.25) == 0.25
+        assert client.retry_delay("/p", 1, retry_after_s=99.0) == 2.0  # cap
+        assert client.retry_delay("/p", 1) == client.backoff_delay("/p", 1)
+
+    def test_overloaded_error_carries_the_hint(self):
+        with BackgroundServer(ServeConfig(port=0, max_inflight=0)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                client.provision([ProvisionRequest(12, 2, 0.5)])
+            exc = excinfo.value
+            assert exc.code == "overloaded"
+            assert exc.retryable
+            assert exc.retry_after_s is not None and exc.retry_after_s > 0
+
+    def test_non_retryable_errors_have_no_hint(self):
+        with BackgroundServer(ServeConfig(port=0)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                client.call("GET", "/no-such-endpoint")
+            assert not excinfo.value.retryable
+            assert excinfo.value.retry_after_s is None
+
+
+class TestRetryBudget:
+    def test_budget_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="retry_budget_s"):
+            ServeClient(port=1, retry_budget_s=-1.0)
+
+    def test_spent_budget_surfaces_the_final_outcome(self):
+        """With a zero budget no retry sleep fits: one attempt only."""
+        reg = MetricsRegistry()
+        with BackgroundServer(ServeConfig(port=0, max_inflight=0),
+                              registry=reg) as bs:
+            client = ServeClient(bs.host, bs.port, retries=5,
+                                 retry_budget_s=0.0)
+            with pytest.raises(ServeError) as excinfo:
+                client.provision([ProvisionRequest(12, 2, 0.5)])
+            assert excinfo.value.code == "overloaded"
+            counter = reg.get("repro_serve_requests_total")
+            assert counter.value(endpoint="/provision", code="503") == 1
+
+    def test_budget_bounds_unreachable_retries(self):
+        client = ServeClient(port=_free_port(), timeout=1.0, retries=50,
+                             backoff_base=10.0, retry_budget_s=0.5)
+        start = time.monotonic()
+        with pytest.raises(ServeError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unavailable"
+        assert time.monotonic() - start < 5.0

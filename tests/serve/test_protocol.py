@@ -125,3 +125,37 @@ class TestParsePlanBody:
         # The docs promise the error envelope is plain JSON.
         doc = error_doc(protocol.ERR_DRAINING, "bye")
         assert json.loads(json.dumps(doc)) == doc
+
+
+class TestRetryAfter:
+    """The additive retry_after_s hint (still protocol version 1)."""
+
+    def test_error_doc_embeds_the_hint(self):
+        doc = error_doc(protocol.ERR_OVERLOADED, "busy", retry_after_s=0.25)
+        assert doc["protocol"] == PROTOCOL_VERSION  # additive, not v2
+        assert doc["error"]["retry_after_s"] == 0.25
+
+    def test_error_doc_omits_the_hint_by_default(self):
+        doc = error_doc(protocol.ERR_OVERLOADED, "busy")
+        assert "retry_after_s" not in doc["error"]
+
+    def test_protocol_error_carries_the_hint_into_its_doc(self):
+        exc = ProtocolError(protocol.ERR_DRAINING, "bye", retry_after_s=1.5)
+        assert exc.retry_after_s == 1.5
+        assert exc.to_doc()["error"]["retry_after_s"] == 1.5
+        bare = ProtocolError(protocol.ERR_DRAINING, "bye")
+        assert bare.retry_after_s is None
+        assert "retry_after_s" not in bare.to_doc()["error"]
+
+    def test_hint_parser_accepts_only_sane_values(self):
+        hint = protocol.retry_after_hint
+        assert hint(error_doc(protocol.ERR_OVERLOADED, "b",
+                              retry_after_s=0.5)) == 0.5
+        assert hint(error_doc(protocol.ERR_OVERLOADED, "b",
+                              retry_after_s=0)) == 0.0
+        assert hint(error_doc(protocol.ERR_OVERLOADED, "b")) is None
+        assert hint(None) is None
+        assert hint({"error": {"retry_after_s": "soon"}}) is None
+        assert hint({"error": {"retry_after_s": True}}) is None
+        assert hint({"error": {"retry_after_s": -1.0}}) is None
+        assert hint({"error": "nope"}) is None

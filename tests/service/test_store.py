@@ -345,3 +345,125 @@ class TestStats:
                             "stores", "corruptions", "evictions",
                             "last_corruption"}
         json.dumps(doc)  # the snapshot is JSON-serializable as promised
+
+
+class TestQuarantine:
+    """Corrupt entries are preserved for post-mortem, never silently lost."""
+
+    def test_corrupt_load_moves_the_entry_into_quarantine(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        fresh = ScheduleStore(store.cache_dir)
+        assert fresh.get_eval(plan.family, 12, 2, 2, 4, False) is None
+        moved = fresh.quarantine_dir / store.entry_path(key).name
+        assert moved.is_file()
+        assert moved.read_text() == "{ not json"  # evidence intact
+
+    def test_quarantined_files_are_not_entries(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        fresh = ScheduleStore(store.cache_dir)
+        fresh.get_eval(plan.family, 12, 2, 2, 4, False)
+        assert len(fresh) == 0          # the entry walk skips quarantine/
+        assert fresh.clear() == 0       # and so does clear()
+        assert fresh.quarantine_dir.exists()
+        assert fresh.clear_quarantine() == 1
+        assert list(fresh.quarantine_dir.glob("*.json")) == []
+
+    def test_quarantine_also_drops_the_memory_front(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        # The writing store still has the plan in its LRU; a scrub must
+        # purge that too, or the bad slot keeps serving from memory.
+        store.scrub()
+        assert store.get_eval(plan.family, 12, 2, 2, 4, False) is None
+
+
+class TestScrub:
+    def test_clean_store_scrubs_clean(self, store):
+        plan = _some_plan()
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.put_plan(12, 2, Fraction(1, 2), False, plan)
+        report = store.scrub()
+        assert report.clean
+        assert report.scanned == 2 and report.ok == 2
+        assert report.quarantined == 0 and report.problems == []
+
+    def test_truncated_mid_write_entry_is_quarantined(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        path = store.entry_path(key)
+        path.write_text(path.read_text()[:120])  # a torn write
+        report = store.scrub()
+        assert not report.clean
+        assert report.corrupt == 1 and report.quarantined == 1
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).is_file()
+        assert store.get_eval(plan.family, 12, 2, 2, 4, False) is None
+
+    def test_valid_json_wrong_digest_is_quarantined(self, store):
+        """An entry renamed to the wrong slot: valid JSON, wrong hash."""
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        other = eval_key("tdma", 12, 2, 2, 4, False)
+        store.put_eval("tdma", 12, 2, 2, 4, False, plan)
+        wrong = store.entry_path(key)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(store.entry_path(other).read_text())
+        report = store.scrub()
+        assert report.corrupt == 1 and report.ok == 1
+        assert "digest" in report.problems[0][1]
+        assert (store.quarantine_dir / wrong.name).is_file()
+
+    def test_unreadable_entry_is_quarantined(self, store, monkeypatch):
+        """I/O failures on read quarantine too (the file may be salvage-
+        able later); driven by a fault injection because the test may
+        run as root, where permission bits do not bite."""
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        bad = store.entry_path(key)
+        real_read = Path.read_text
+
+        def failing_read(self, *args, **kwargs):
+            if self == bad:
+                raise PermissionError(13, "Permission denied", str(self))
+            return real_read(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", failing_read)
+        report = store.scrub()
+        assert report.unreadable == 1 and report.quarantined == 1
+        assert "PermissionError" in report.problems[0][1]
+        monkeypatch.undo()
+        assert (store.quarantine_dir / bad.name).is_file()
+        assert store.get_eval(plan.family, 12, 2, 2, 4, False) is None
+
+    def test_scrub_counters_land_in_the_registry(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.put_plan(12, 2, Fraction(1, 2), False, plan)
+        store.entry_path(key).write_text("{ not json")
+        store.scrub()
+        reg = store.stats.registry
+        assert reg.get("repro_store_scrub_runs_total").value() == 1
+        entries = reg.get("repro_store_scrub_entries_total")
+        assert entries.value(result="ok") == 1
+        assert entries.value(result="corrupt") == 1
+        assert reg.get("repro_store_scrub_quarantined_total").value() == 1
+
+    def test_second_scrub_is_clean(self, store):
+        plan = _some_plan()
+        key = eval_key(plan.family, 12, 2, 2, 4, False)
+        store.put_eval(plan.family, 12, 2, 2, 4, False, plan)
+        store.entry_path(key).write_text("{ not json")
+        assert not store.scrub().clean
+        again = store.scrub()
+        assert again.clean and again.scanned == 0
