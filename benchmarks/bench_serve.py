@@ -27,9 +27,11 @@ from time import perf_counter
 
 import repro.core.planner as planner_mod
 from repro.analysis.tables import Table
+from repro.obs import context as _context
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, set_default_tracer, span
 from repro.serve.client import ServeClient
-from repro.serve.server import BackgroundServer, ServeConfig
+from repro.serve.server import BackgroundServer, FlightRecorder, ServeConfig
 from repro.service.api import ProvisionRequest, provision_batch
 from repro.service.store import ScheduleStore
 
@@ -175,3 +177,70 @@ def test_serve_loopback_load(report, headline, tmp_path):
     results_dir.mkdir(exist_ok=True)
     (results_dir / "serve_load.json").write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def _trace_machinery_once(flights, hist_series):
+    """Exactly the correlation work one warm request adds to the serve
+    path: a trace scope, the request/plan/lead spans, a flight record
+    with its hop timeline, and one exemplar-bearing observation."""
+    with _context.trace_context("ab" * 8, "cd" * 8):
+        flight = flights.begin("/plan")
+        flight.trace_id = "ab" * 8
+        flight.hop("admit", inflight=1)
+        with span("serve.request", endpoint="/plan"):
+            flight.hop("coalesce", outcome="led", leader_trace_id=None)
+            flight.hop("pool.submit")
+            with span("serve.plan", n=12, d=2):
+                with span("serve.coalesce.lead"):
+                    pass
+            flight.hop("pool.done", seconds=0.0)
+        flights.finish(flight, 200)
+    hist_series.observe(0.001, trace_id="ab" * 8)
+
+
+def test_tracing_overhead_within_budget(report, headline, tmp_path):
+    """The correlation machinery must cost < 5% of a warm request."""
+    registry = MetricsRegistry()
+    store = ScheduleStore(tmp_path / "cache-overhead", registry=registry)
+    with BackgroundServer(ServeConfig(port=0, jobs=2), store=store,
+                          registry=registry) as bs:
+        client = ServeClient(bs.host, bs.port, retries=1)
+        client.provision([HOT_DOC], include_schedules=False)  # cold fill
+        latencies = []
+        for _ in range(40):
+            start = perf_counter()
+            client.provision([HOT_DOC], include_schedules=False)
+            latencies.append(perf_counter() - start)
+    warm_p50 = _quantile(sorted(latencies), 0.50)
+
+    # Micro-measure the added work directly (an A/B run over loopback
+    # HTTP would drown a few microseconds in scheduler noise).
+    tracer = Tracer()
+    old = set_default_tracer(tracer)
+    try:
+        flights = FlightRecorder(128)
+        series = MetricsRegistry().histogram(
+            "h_seconds", "overhead probe",
+            exemplars=True).labels(endpoint="/plan")
+        iterations = 2000
+        start = perf_counter()
+        for _ in range(iterations):
+            _trace_machinery_once(flights, series)
+        per_request = (perf_counter() - start) / iterations
+    finally:
+        set_default_tracer(old)
+
+    overhead = per_request / warm_p50
+    assert overhead <= 0.05, (
+        f"tracing machinery costs {per_request * 1e6:.1f}us/request = "
+        f"{overhead:.1%} of the warm p50 ({warm_p50 * 1e3:.2f}ms); "
+        f"budget is 5%")
+
+    table = Table("warm_p50_ms", "trace_cost_us", "overhead_pct",
+                  title="Correlation-machinery overhead on the warm "
+                        "provision path")
+    table.row(warm_p50_ms=round(warm_p50 * 1e3, 3),
+              trace_cost_us=round(per_request * 1e6, 2),
+              overhead_pct=round(overhead * 100, 3))
+    report(table, "serve_trace_overhead")
+    headline("tracing_overhead_pct", overhead * 100)

@@ -19,7 +19,11 @@ writing Python:
                request coalescing, admission control, ``/metrics``;
                ``--supervise`` wraps it in a restarting supervisor
 ``call``       client for a running server: health, provision, plan,
-               metrics scrape
+               metrics/SLO/flight-recorder scrapes; ``--trace``
+               correlates the whole call
+``obs``        observability tooling: ``report`` reassembles span JSONL
+               into per-request trace trees, ``slo`` evaluates
+               objectives against a metrics snapshot
 ``store``      schedule-store maintenance: ``scrub`` (integrity pass with
                quarantine) and ``clear``
 =============  =============================================================
@@ -139,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=30.0,
                    help="per-request processing deadline in seconds; "
                         "0 disables (default 30)")
+    p.add_argument("--flight-capacity", type=int, default=128,
+                   help="requests retained by the /debugz flight "
+                        "recorder (default 128)")
     p.add_argument("--cache-dir", default=None,
                    help="schedule-store root (default: "
                         "$XDG_CACHE_HOME/repro/schedules)")
@@ -180,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("call", parents=[obs],
                        help="call a running schedule server")
     p.add_argument("action", choices=["health", "provision", "plan",
-                                      "metrics"])
+                                      "metrics", "slo", "debugz"])
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8177)
     p.add_argument("--timeout", type=float, default=60.0,
@@ -210,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="metrics: fetch the repro-metrics JSON snapshot "
                         "instead of the Prometheus text")
+    p.add_argument("--trace", action="store_true",
+                   help="open a trace scope for the call and print its "
+                        "trace id to stderr; the server, runtime and "
+                        "store stamp the same id on their logs and spans")
+
+    p = sub.add_parser("obs", parents=[obs],
+                       help="observability tooling: trace reassembly and "
+                            "SLO evaluation")
+    p.add_argument("action", choices=["report", "slo"],
+                   help="report: render per-request span trees from "
+                        "trace JSONL; slo: evaluate objectives against a "
+                        "metrics snapshot (exit 1 on a burned objective)")
+    p.add_argument("traces", nargs="*",
+                   help="report: span JSONL files (--trace-out output), "
+                        "merged before reassembly")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="slo: the repro-metrics JSON snapshot to evaluate")
+    p.add_argument("--objectives", default=None, metavar="PATH",
+                   help="slo: JSON list of objective documents "
+                        "(default: the serve tier's built-in objectives)")
 
     p = sub.add_parser("verify", parents=[obs], help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
@@ -446,6 +473,7 @@ def _serve_supervised(args) -> int:
     """``repro serve --supervise``: restart-on-crash around the server."""
     import signal
 
+    from repro.obs.logging import get_logger
     from repro.serve.supervisor import (
         CRASH_LOOP_EXIT_CODE,
         Supervisor,
@@ -465,17 +493,21 @@ def _serve_supervised(args) -> int:
                             ready_file=args.ready_file)
     for sig in (signal.SIGTERM, signal.SIGINT):
         signal.signal(sig, lambda _sig, _frame: supervisor.request_stop())
-    print(f"supervising schedule server "
-          f"(max {config.max_restarts} restarts per "
-          f"{config.restart_window_s:g}s window)",
-          file=sys.stderr, flush=True)
+    log = get_logger("cli.serve")
+    log.info("supervising schedule server",
+             extra={"max_restarts": config.max_restarts,
+                    "window_s": config.restart_window_s})
     code = supervisor.run()
     if code == CRASH_LOOP_EXIT_CODE:
-        print(f"error: crash loop — more than {config.max_restarts} crashes "
-              f"in {config.restart_window_s:g}s; giving up", file=sys.stderr)
+        # Message text, not only structured fields: the chaos drills
+        # grep stderr for "crash loop" at the default warning level.
+        log.error(f"crash loop — more than {config.max_restarts} crashes "
+                  f"in {config.restart_window_s:g}s; giving up",
+                  extra={"trace_id": supervisor.trace_id})
     elif supervisor.restarts:
-        print(f"supervisor exiting after {supervisor.restarts} restart(s)",
-              file=sys.stderr)
+        log.warning(f"supervisor exiting after {supervisor.restarts} "
+                    f"restart(s)",
+                    extra={"trace_id": supervisor.trace_id})
     return code
 
 
@@ -494,6 +526,7 @@ def _cmd_serve(args) -> int:
         config = ServeConfig(
             host=args.host, port=args.port, jobs=args.jobs,
             max_inflight=args.max_inflight,
+            flight_capacity=args.flight_capacity,
             request_deadline_s=args.deadline if args.deadline > 0 else None)
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -531,8 +564,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_call(args) -> int:
-    from repro.serve.client import ServeClient, ServeError
-    from repro.service.api import ProvisionRequest
+    from repro.serve.client import ServeClient
 
     try:
         client = ServeClient(args.host, args.port, timeout=args.timeout,
@@ -541,9 +573,31 @@ def _cmd_call(args) -> int:
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace:
+        from repro.obs import context as _context
+
+        # One trace scope around the whole action: the client forwards
+        # the id, the server/runtime/store stamp it on their telemetry.
+        with _context.trace_context() as ctx:
+            print(f"trace_id {ctx.trace_id}", file=sys.stderr)
+            return _call_action(args, client)
+    return _call_action(args, client)
+
+
+def _call_action(args, client) -> int:
+    from repro.serve.client import ServeError
+    from repro.service.api import ProvisionRequest
+
     try:
         if args.action == "health":
             print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.action == "slo":
+            doc = client.slo()
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0 if doc.get("slo", {}).get("ok") else 1
+        if args.action == "debugz":
+            print(json.dumps(client.debugz(), indent=2))
             return 0
         if args.action == "metrics":
             if args.json:
@@ -608,6 +662,49 @@ def _cmd_call(args) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_obs(args) -> int:
+    if args.action == "report":
+        from repro.obs.tracing import read_jsonl, render_trace_trees
+
+        if not args.traces:
+            print("error: obs report needs at least one trace JSONL path",
+                  file=sys.stderr)
+            return 2
+        try:
+            records = read_jsonl(args.traces)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not records:
+            print("no spans found", file=sys.stderr)
+            return 1
+        print(render_trace_trees(records))
+        return 0
+    # slo: pure evaluation of objectives against an exported snapshot.
+    from repro.obs import slo as _slo
+
+    if args.metrics is None:
+        print("error: obs slo needs --metrics PATH", file=sys.stderr)
+        return 2
+    try:
+        with open(args.metrics) as fh:
+            snapshot = json.load(fh)
+        if args.objectives is not None:
+            with open(args.objectives) as fh:
+                docs = json.load(fh)
+            if not isinstance(docs, list):
+                raise ValueError("--objectives must hold a JSON list")
+            objectives = [_slo.Objective.from_dict(doc) for doc in docs]
+        else:
+            objectives = _slo.default_serve_objectives()
+        report = _slo.evaluate(objectives, snapshot)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_store(args) -> int:
@@ -869,6 +966,7 @@ _COMMANDS = {
     "provision": _cmd_provision,
     "serve": _cmd_serve,
     "call": _cmd_call,
+    "obs": _cmd_obs,
     "store": _cmd_store,
     "verify": _cmd_verify,
     "analyze": _cmd_analyze,

@@ -21,10 +21,26 @@ outside the standard library:
   a bounded in-memory trace that exports to JSONL and renders the
   ``--profile`` summary table.
 
+Two cross-cutting companions tie the pillars together:
+
+* :mod:`repro.obs.context` — contextvars-carried ``trace_id`` /
+  ``span_id`` / ``parent_id`` correlation: spans record the ids, log
+  lines are stamped with them, and histogram exemplars link buckets
+  back to the requests that landed there.
+* :mod:`repro.obs.slo` — declarative latency/availability objectives
+  evaluated (purely) against metrics snapshots, with rolling
+  multi-window error-budget burn rates.
+
 The package defines *mechanism* only; each subsystem registers its own
 metric names and span names (catalogued in ``docs/observability.md``).
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_trace_id,
+    deterministic_ids,
+    trace_context,
+)
 from repro.obs.logging import configure as configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -34,6 +50,7 @@ from repro.obs.metrics import (
     default_registry,
     set_default_registry,
 )
+from repro.obs.slo import BurnRateTracker, Objective, evaluate as evaluate_slo
 from repro.obs.tracing import (
     SpanRecord,
     Tracer,
@@ -45,12 +62,19 @@ from repro.obs.tracing import (
 __all__ = [
     "get_logger",
     "configure_logging",
+    "TraceContext",
+    "trace_context",
+    "current_trace_id",
+    "deterministic_ids",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "default_registry",
     "set_default_registry",
+    "Objective",
+    "BurnRateTracker",
+    "evaluate_slo",
     "SpanRecord",
     "Tracer",
     "default_tracer",

@@ -27,8 +27,10 @@ import logging
 import sys
 from typing import Any, TextIO
 
+from repro.obs import context as _context
+
 __all__ = ["get_logger", "configure", "JsonFormatter", "HumanFormatter",
-           "LEVELS", "FORMATS"]
+           "TraceContextFilter", "LEVELS", "FORMATS"]
 
 #: Accepted ``configure(level=...)`` names, mapped to stdlib levels.
 LEVELS = {
@@ -105,6 +107,27 @@ logging.getLogger(_ROOT).addHandler(logging.NullHandler())
 _handler: logging.Handler | None = None
 
 
+class TraceContextFilter(logging.Filter):
+    """Stamp the active trace context onto every record.
+
+    While a :func:`repro.obs.context.trace_context` is in flight, every
+    log line — whatever module emitted it — gains ``trace_id`` and
+    ``span_id`` structured fields, so one ``grep trace_id=<id>`` (or a
+    JSON field match) collects a request's full trail.  Explicit
+    ``extra={"trace_id": ...}`` fields win over the ambient context.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        """Attach ``trace_id``/``span_id`` from the ambient context."""
+        ctx = _context.current()
+        if ctx is not None:
+            if not hasattr(record, "trace_id"):
+                record.trace_id = ctx.trace_id
+            if not hasattr(record, "span_id"):
+                record.span_id = ctx.span_id
+        return True
+
+
 class _CurrentStderrHandler(logging.StreamHandler):
     """StreamHandler that re-reads ``sys.stderr`` on every emit, so
     stream redirection (pytest capture, shell 2> swaps) always wins."""
@@ -151,6 +174,7 @@ def configure(level: str = "warning", format: str = "human",
                 else _CurrentStderrHandler())
     _handler.setFormatter(JsonFormatter() if format == "json"
                           else HumanFormatter())
+    _handler.addFilter(TraceContextFilter())
     root.addHandler(_handler)
     root.setLevel(LEVELS[level])
     root.propagate = False

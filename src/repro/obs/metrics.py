@@ -34,6 +34,8 @@ from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.obs import context as _context
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "default_registry", "set_default_registry",
            "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "DEFAULT_BUCKETS"]
@@ -84,23 +86,44 @@ class GaugeSeries:
 
 
 class HistogramSeries:
-    """One labelled histogram series: per-bucket counts plus sum/count."""
+    """One labelled histogram series: per-bucket counts plus sum/count.
 
-    __slots__ = ("labels", "bounds", "counts", "sum", "count")
+    With *exemplars* enabled, each bucket also remembers its **worst
+    recent** observation — ``{"value": v, "trace_id": t}`` — captured
+    when a trace context is in flight at ``observe`` time.  That links a
+    latency bucket back to one concrete request that landed in it.
+    """
+
+    __slots__ = ("labels", "bounds", "counts", "sum", "count", "exemplars")
 
     def __init__(self, labels: tuple[tuple[str, str], ...],
-                 bounds: tuple[float, ...]):
+                 bounds: tuple[float, ...], exemplars: bool = False):
         self.labels = labels
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
         self.sum = 0.0
         self.count = 0
+        self.exemplars: list[dict[str, Any] | None] | None = \
+            [None] * (len(bounds) + 1) if exemplars else None
 
-    def observe(self, value: float) -> None:
-        """Record one observation into its bucket."""
-        self.counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation into its bucket.
+
+        *trace_id* overrides the ambient trace context for exemplar
+        capture (callers that observe after their context has closed).
+        """
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.sum += value
         self.count += 1
+        if self.exemplars is not None:
+            if trace_id is None:
+                trace_id = _context.current_trace_id()
+            if trace_id is not None:
+                previous = self.exemplars[index]
+                if previous is None or value >= previous["value"]:
+                    self.exemplars[index] = {"value": value,
+                                             "trace_id": trace_id}
 
 
 class _Metric:
@@ -169,7 +192,8 @@ class Histogram(_Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                 exemplars: bool = False):
         super().__init__(name, help)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
@@ -177,13 +201,15 @@ class Histogram(_Metric):
         if len(set(bounds)) != len(bounds):
             raise ValueError("duplicate histogram bucket bounds")
         self.bounds = bounds
+        self.exemplars = bool(exemplars)
 
     def labels(self, **labels: Any) -> HistogramSeries:
         """The (created-on-first-use) series for this label combination."""
         key = _label_key(labels)
         series = self._series.get(key)
         if series is None:
-            series = self._series[key] = HistogramSeries(key, self.bounds)
+            series = self._series[key] = HistogramSeries(
+                key, self.bounds, exemplars=self.exemplars)
         return series
 
     def observe(self, value: float, **labels: Any) -> None:
@@ -227,16 +253,19 @@ class MetricsRegistry:
         return self._register(Gauge, name, help)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: tuple[float, ...] | None = None) -> Histogram:
+                  buckets: tuple[float, ...] | None = None,
+                  exemplars: bool = False) -> Histogram:
         """Get or create the :class:`Histogram` called *name*.
 
-        *buckets* applies on first registration only; a later caller with
-        different buckets gets the original instrument (bucket layout is
-        part of a histogram's identity — it cannot change mid-flight).
+        *buckets* and *exemplars* apply on first registration only; a
+        later caller with different options gets the original instrument
+        (bucket layout is part of a histogram's identity — it cannot
+        change mid-flight).  ``exemplars=True`` makes every series keep
+        the worst recent ``(value, trace_id)`` per bucket.
         """
         return self._register(Histogram, name, help,
                               buckets=buckets if buckets is not None
-                              else DEFAULT_BUCKETS)
+                              else DEFAULT_BUCKETS, exemplars=exemplars)
 
     def get(self, name: str) -> _Metric | None:
         """The instrument called *name*, or None."""
@@ -278,13 +307,21 @@ class MetricsRegistry:
                                for s in metric.series()],
                 }
             else:
+                entries = []
+                for s in metric.series():
+                    entry: dict[str, Any] = {"labels": dict(s.labels),
+                                             "counts": list(s.counts),
+                                             "sum": s.sum, "count": s.count}
+                    if s.exemplars is not None \
+                            and any(e is not None for e in s.exemplars):
+                        entry["exemplars"] = [dict(e) if e is not None
+                                              else None
+                                              for e in s.exemplars]
+                    entries.append(entry)
                 histograms[name] = {
                     "help": metric.help,
                     "buckets": list(metric.bounds),
-                    "series": [{"labels": dict(s.labels),
-                                "counts": list(s.counts),
-                                "sum": s.sum, "count": s.count}
-                               for s in metric.series()],
+                    "series": entries,
                 }
         return {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION,
                 "counters": counters, "gauges": gauges,
@@ -324,6 +361,16 @@ class MetricsRegistry:
                     series.counts[i] += c
                 series.sum += entry["sum"]
                 series.count += entry["count"]
+                incoming = entry.get("exemplars")
+                if incoming:
+                    if series.exemplars is None:
+                        series.exemplars = [None] * len(series.counts)
+                    for i, exemplar in enumerate(incoming):
+                        if exemplar is None:
+                            continue
+                        mine = series.exemplars[i]
+                        if mine is None or exemplar["value"] >= mine["value"]:
+                            series.exemplars[i] = dict(exemplar)
 
     # ------------------------------------------------------------------
     # export

@@ -1,0 +1,277 @@
+"""Declarative SLOs: objectives, compliance, and burn rates — all pure.
+
+The paper's pitch is *guaranteed worst-case* behavior; the serving
+stack's equivalent is a service-level objective ("99% of provisions
+answer within 1s") evaluated continuously against its own metrics.
+This module keeps that evaluation a pure function — metrics snapshot
+in, verdict out — so the same code backs the server's ``/slo``
+endpoint, the ``repro obs slo`` CLI (exit 1 on a violated objective,
+for CI gates), and plain unit tests with hand-built snapshots.
+
+Two objective kinds, both computed from the **existing** instruments
+(no new measurement paths):
+
+* ``latency`` — the fraction of observations of a histogram metric at
+  or under ``threshold_s`` must be >= ``target``.  Compliance reads the
+  cumulative bucket counts at the nearest bucket bound >= the
+  threshold (fixed buckets cannot answer arbitrary quantiles exactly;
+  pick thresholds on bucket bounds — the default serve buckets include
+  0.1, 0.25, 0.5, 1.0, 2.5 ...).
+* ``availability`` — the fraction of a counter metric's series whose
+  ``code`` label is not a 5xx status must be >= ``target``.
+
+**Error-budget burn** normalizes "how bad is it": with target 0.99 the
+budget is 1% bad; a burn of 1.0 spends the budget exactly at the rate
+allowed, 10.0 spends it 10x too fast.  :func:`evaluate` reports the
+point-in-time burn over a whole snapshot; :class:`BurnRateTracker`
+holds timestamped ``(good, total)`` samples and reports **rolling**
+burn rates over several windows at once (the multi-window alerting
+pattern: page on fast burn over short windows, ticket on slow burn
+over long ones).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["Objective", "ObjectiveResult", "evaluate", "good_total",
+           "BurnRateTracker", "default_serve_objectives",
+           "SLO_REPORT_FORMAT", "SLO_REPORT_VERSION"]
+
+#: ``format`` marker of the report document ``evaluate`` produces.
+SLO_REPORT_FORMAT = "repro-slo"
+#: Schema version of the report document.
+SLO_REPORT_VERSION = 1
+
+#: The objective kinds :func:`good_total` can compute.
+KINDS = ("latency", "availability")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the objective (unique within a report).
+    kind:
+        ``latency`` (histogram threshold) or ``availability``
+        (counter 5xx classification).
+    metric:
+        The metric the objective reads — a histogram name for
+        ``latency``, a counter name for ``availability``.
+    target:
+        Required good fraction in ``(0, 1)`` — e.g. 0.99.
+    threshold_s:
+        Latency bound in seconds (``latency`` kind only); evaluated at
+        the nearest histogram bucket bound >= this value.
+    code_label:
+        Label whose values classify availability (default ``code``);
+        values starting with ``5`` count as bad.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    target: float
+    threshold_s: float | None = None
+    code_label: str = "code"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown objective kind {self.kind!r}; "
+                             f"pick from {list(KINDS)}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be a fraction in (0, 1)")
+        if self.kind == "latency":
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ValueError(
+                    "a latency objective needs a positive threshold_s")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (objectives files, report documents)."""
+        doc: dict[str, Any] = {"name": self.name, "kind": self.kind,
+                               "metric": self.metric, "target": self.target}
+        if self.threshold_s is not None:
+            doc["threshold_s"] = self.threshold_s
+        if self.code_label != "code":
+            doc["code_label"] = self.code_label
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Objective":
+        """Build an objective from its :meth:`to_dict` form; unknown
+        keys raise (objectives files should not silently drift)."""
+        known = {"name", "kind", "metric", "target", "threshold_s",
+                 "code_label"}
+        extra = set(doc) - known
+        if extra:
+            raise ValueError(f"unknown objective field(s) {sorted(extra)}")
+        return cls(name=doc["name"], kind=doc["kind"], metric=doc["metric"],
+                   target=float(doc["target"]),
+                   threshold_s=doc.get("threshold_s"),
+                   code_label=doc.get("code_label", "code"))
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """Point-in-time verdict of one objective against one snapshot.
+
+    ``compliance`` is the good fraction (1.0 when the metric has no
+    observations yet — an empty service has violated nothing), and
+    ``budget_burn`` = ``(1 - compliance) / (1 - target)``: 1.0 means
+    the error budget is being spent exactly at the allowed rate.
+    """
+
+    objective: Objective
+    good: float
+    total: float
+    compliance: float
+    budget_burn: float
+    ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one entry of the report document)."""
+        return {"objective": self.objective.to_dict(), "good": self.good,
+                "total": self.total, "compliance": self.compliance,
+                "budget_burn": self.budget_burn, "ok": self.ok}
+
+
+def good_total(objective: Objective,
+               snapshot: Mapping[str, Any]) -> tuple[float, float]:
+    """``(good, total)`` event counts of *objective* in *snapshot*.
+
+    Pure — *snapshot* is a :meth:`MetricsRegistry.snapshot` document.
+    A metric absent from the snapshot counts as ``(0, 0)``.
+    """
+    if objective.kind == "latency":
+        doc = snapshot.get("histograms", {}).get(objective.metric)
+        if doc is None:
+            return 0.0, 0.0
+        bounds = [float(b) for b in doc.get("buckets", ())]
+        index = bisect_left(bounds, float(objective.threshold_s))
+        good = total = 0.0
+        for entry in doc.get("series", ()):
+            counts = entry["counts"]
+            good += sum(counts[:index + 1])
+            total += entry["count"]
+        return good, total
+    doc = snapshot.get("counters", {}).get(objective.metric)
+    if doc is None:
+        return 0.0, 0.0
+    good = total = 0.0
+    for entry in doc.get("series", ()):
+        value = float(entry["value"])
+        total += value
+        code = str(entry.get("labels", {}).get(objective.code_label, ""))
+        if not code.startswith("5"):
+            good += value
+    return good, total
+
+
+def evaluate(objectives: Iterable[Objective],
+             snapshot: Mapping[str, Any],
+             burn_rates: Mapping[str, Mapping[str, float | None]]
+             | None = None) -> dict[str, Any]:
+    """Evaluate *objectives* against *snapshot*; returns the report doc.
+
+    Pure function: snapshot in, verdict out.  The report declares its
+    own schema (``format``/``version``), carries one
+    :class:`ObjectiveResult` dict per objective plus a top-level ``ok``
+    (every objective met), and optionally folds in rolling *burn_rates*
+    from a :class:`BurnRateTracker`.
+    """
+    results = []
+    overall_ok = True
+    for objective in objectives:
+        good, total = good_total(objective, snapshot)
+        compliance = good / total if total > 0 else 1.0
+        burn = (1.0 - compliance) / (1.0 - objective.target)
+        ok = compliance >= objective.target
+        overall_ok = overall_ok and ok
+        result = ObjectiveResult(objective, good, total, compliance,
+                                 burn, ok).to_dict()
+        if burn_rates is not None and objective.name in burn_rates:
+            result["burn_rates"] = dict(burn_rates[objective.name])
+        results.append(result)
+    return {"format": SLO_REPORT_FORMAT, "version": SLO_REPORT_VERSION,
+            "ok": overall_ok, "objectives": results}
+
+
+@dataclass
+class BurnRateTracker:
+    """Rolling multi-window burn rates from periodic snapshot samples.
+
+    Call :meth:`sample` with the current metrics snapshot (the ``/slo``
+    endpoint does this per scrape); :meth:`burn_rates` then reports,
+    per objective and window, how fast the error budget burned over
+    that window — ``delta_bad / delta_total / (1 - target)`` between
+    the newest sample and the oldest sample inside the window, or None
+    when the window holds fewer than two samples or saw no events.
+    *clock* is injectable so tests pin time.
+    """
+
+    objectives: Sequence[Objective]
+    windows_s: tuple[float, ...] = (60.0, 300.0, 3600.0)
+    capacity: int = 1024
+    clock: Callable[[], float] = time.monotonic
+    _samples: list[tuple[float, dict[str, tuple[float, float]]]] = \
+        field(default_factory=list)
+
+    def sample(self, snapshot: Mapping[str, Any]) -> None:
+        """Record ``(good, total)`` of every objective at ``clock()``."""
+        counts = {obj.name: good_total(obj, snapshot)
+                  for obj in self.objectives}
+        self._samples.append((self.clock(), counts))
+        if len(self._samples) > self.capacity:
+            del self._samples[:len(self._samples) - self.capacity]
+
+    def burn_rates(self) -> dict[str, dict[str, float | None]]:
+        """``{objective: {window: burn | None}}`` as of the last sample."""
+        out: dict[str, dict[str, float | None]] = {}
+        if not self._samples:
+            return {obj.name: {f"{w:g}s": None for w in self.windows_s}
+                    for obj in self.objectives}
+        now, newest = self._samples[-1]
+        for obj in self.objectives:
+            rates: dict[str, float | None] = {}
+            for window in self.windows_s:
+                oldest = None
+                for ts, counts in self._samples[:-1]:
+                    if now - ts <= window:
+                        oldest = counts
+                        break
+                if oldest is None:
+                    rates[f"{window:g}s"] = None
+                    continue
+                good0, total0 = oldest.get(obj.name, (0.0, 0.0))
+                good1, total1 = newest.get(obj.name, (0.0, 0.0))
+                delta_total = total1 - total0
+                if delta_total <= 0:
+                    rates[f"{window:g}s"] = None
+                    continue
+                delta_bad = (total1 - good1) - (total0 - good0)
+                bad_fraction = max(0.0, delta_bad) / delta_total
+                rates[f"{window:g}s"] = bad_fraction / (1.0 - obj.target)
+            out[obj.name] = rates
+        return out
+
+
+def default_serve_objectives(
+        threshold_s: float = 1.0,
+        latency_target: float = 0.99,
+        availability_target: float = 0.999) -> list[Objective]:
+    """The serve tier's stock objectives over its existing metrics:
+    provision/plan latency under *threshold_s* and non-5xx answers."""
+    return [
+        Objective(name="serve-latency", kind="latency",
+                  metric="repro_serve_request_seconds",
+                  target=latency_target, threshold_s=threshold_s),
+        Objective(name="serve-availability", kind="availability",
+                  metric="repro_serve_requests_total",
+                  target=availability_target),
+    ]

@@ -24,16 +24,19 @@ un-threaded instrumentation and :func:`set_default_tracer` scopes it
 from __future__ import annotations
 
 import json
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro._validation import check_int
+from repro.obs import context as _context
 
 __all__ = ["SpanRecord", "Tracer", "span", "default_tracer",
-           "set_default_tracer"]
+           "set_default_tracer", "read_jsonl", "assemble_traces",
+           "render_trace_trees"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,14 @@ class SpanRecord:
         Nesting depth at entry (0 = top level).
     attrs:
         The keyword attributes the instrumentation site attached.
+    trace_id, span_id, parent_id:
+        Correlation ids from :mod:`repro.obs.context` — ``parent_id``
+        links this span under its enclosing span (or, at a process
+        root, under the remote caller's span), which is what lets
+        :func:`assemble_traces` rebuild the request tree from JSONL.
+    pid:
+        Recording process id — ``start_s`` values are only comparable
+        within one pid (``perf_counter`` epochs differ per process).
     """
 
     name: str
@@ -60,12 +71,28 @@ class SpanRecord:
     duration_s: float
     depth: int
     attrs: dict[str, Any]
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    pid: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (one JSONL line)."""
         return {"name": self.name, "start_s": self.start_s,
                 "duration_s": self.duration_s, "depth": self.depth,
-                "attrs": self.attrs}
+                "attrs": self.attrs, "trace_id": self.trace_id,
+                "span_id": self.span_id, "parent_id": self.parent_id,
+                "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from its :meth:`to_dict` form (absent trace
+        fields — pre-correlation trace files — become None)."""
+        return cls(name=doc["name"], start_s=doc["start_s"],
+                   duration_s=doc["duration_s"], depth=doc.get("depth", 0),
+                   attrs=doc.get("attrs", {}),
+                   trace_id=doc.get("trace_id"), span_id=doc.get("span_id"),
+                   parent_id=doc.get("parent_id"), pid=doc.get("pid"))
 
 
 class Tracer:
@@ -97,6 +124,7 @@ class Tracer:
         if not self.enabled:
             yield
             return
+        ctx, token = _context.enter_span()
         depth = self._depth
         self._depth = depth + 1
         start = perf_counter()
@@ -105,7 +133,31 @@ class Tracer:
         finally:
             duration = perf_counter() - start
             self._depth = depth
-            self._record(SpanRecord(name, start, duration, depth, attrs))
+            _context.exit_span(token)
+            self._record(SpanRecord(name, start, duration, depth, attrs,
+                                    trace_id=ctx.trace_id,
+                                    span_id=ctx.span_id,
+                                    parent_id=ctx.parent_id,
+                                    pid=os.getpid()))
+
+    def record(self, name: str, duration_s: float, **attrs: Any) -> None:
+        """Record an externally-timed span as a child of the current
+        context.
+
+        For sites that already measured a duration (a process-pool task
+        timed worker-side, a store lookup timed around a lock) and only
+        need it to appear in the trace tree.  ``start_s`` is back-dated
+        by *duration_s* from now.
+        """
+        if not self.enabled:
+            return
+        ctx, token = _context.enter_span()
+        _context.exit_span(token)
+        now = perf_counter()
+        self._record(SpanRecord(name, now - duration_s, duration_s,
+                                self._depth, attrs,
+                                trace_id=ctx.trace_id, span_id=ctx.span_id,
+                                parent_id=ctx.parent_id, pid=os.getpid()))
 
     def _record(self, record: SpanRecord) -> None:
         self.spans.append(record)
@@ -192,3 +244,107 @@ def span(name: str, **attrs: Any):
     the caller's job via :func:`set_default_tracer`.
     """
     return _default.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# trace reassembly (the ``repro obs report`` engine)
+# ---------------------------------------------------------------------------
+def read_jsonl(paths: Iterable[str | Path]) -> list[SpanRecord]:
+    """Load spans back from one or more :meth:`Tracer.to_jsonl` files.
+
+    Files from different processes (client and server dumps of the same
+    request) concatenate freely — reassembly keys on ids, not order.
+    Blank lines are skipped; malformed lines raise ``ValueError`` naming
+    the file and line number.
+    """
+    records: list[SpanRecord] = []
+    for path in paths:
+        path = Path(path)
+        with path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(SpanRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a span record: {exc}") from exc
+    return records
+
+
+def assemble_traces(
+        records: Iterable[SpanRecord],
+) -> dict[str, list[dict[str, Any]]]:
+    """Group spans by ``trace_id`` and link them into parent/child trees.
+
+    Returns ``{trace_id: [root_node, ...]}`` where each node is
+    ``{"record": SpanRecord, "children": [node, ...]}``.  A span whose
+    ``parent_id`` is None **or refers to a span not in the input** (the
+    remote caller's span when only one side's JSONL is present) becomes
+    a root of its trace.  Children sort by ``start_s`` within each
+    process (cross-process clocks are not comparable) and ids missing
+    entirely (pre-correlation files) group under trace id ``"-"``.
+    """
+    by_trace: dict[str, list[SpanRecord]] = {}
+    for record in records:
+        by_trace.setdefault(record.trace_id or "-", []).append(record)
+    out: dict[str, list[dict[str, Any]]] = {}
+    for trace_id, spans in by_trace.items():
+        nodes = {id(r): {"record": r, "children": []} for r in spans}
+        by_span_id = {r.span_id: nodes[id(r)] for r in spans
+                      if r.span_id is not None}
+        roots: list[dict[str, Any]] = []
+        for record in spans:
+            node = nodes[id(record)]
+            parent = (by_span_id.get(record.parent_id)
+                      if record.parent_id is not None else None)
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        def order(node: dict[str, Any]) -> tuple:
+            r = node["record"]
+            return (r.pid if r.pid is not None else -1, r.start_s)
+        for node in nodes.values():
+            node["children"].sort(key=order)
+        roots.sort(key=order)
+        out[trace_id] = roots
+    return out
+
+
+def render_trace_trees(records: Iterable[SpanRecord]) -> str:
+    """ASCII rendering of :func:`assemble_traces` — one indented tree
+    per trace, each line ``name duration [pid] key=value ...``."""
+    trees = assemble_traces(records)
+    lines: list[str] = []
+    for trace_id in sorted(trees):
+        roots = trees[trace_id]
+        count = sum(1 for _ in _walk(roots))
+        pids = {node["record"].pid for node in _walk(roots)}
+        lines.append(f"trace {trace_id}  ({count} span"
+                     f"{'s' if count != 1 else ''}, {len(pids)} process"
+                     f"{'es' if len(pids) != 1 else ''})")
+        for root in roots:
+            _render_node(root, "  ", lines)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def _walk(roots: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node["children"])
+
+
+def _render_node(node: dict[str, Any], indent: str,
+                 lines: list[str]) -> None:
+    r = node["record"]
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(r.attrs.items()))
+    pid = f" [pid {r.pid}]" if r.pid is not None else ""
+    lines.append(f"{indent}{r.name}  {r.duration_s * 1e3:.3f}ms{pid}"
+                 f"{'  ' + attrs if attrs else ''}")
+    for child in node["children"]:
+        _render_node(child, indent + "  ", lines)

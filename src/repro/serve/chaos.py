@@ -41,6 +41,7 @@ from typing import Any
 
 from repro._validation import check_int
 from repro.faults import FaultPlan
+from repro.obs import context as _context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 
@@ -66,6 +67,15 @@ class ChaosProxy:
         :data:`~repro.faults.PROXY_FAULT_KINDS` or ``"ok"``.  Two runs
         with the same plan seed and accept order log identical
         sequences.
+    fault_events:
+        The richer record behind :attr:`fault_log`: one dict per
+        accepted connection with ``connection``, ``kind`` and
+        ``trace_id`` — the active
+        :func:`repro.obs.context.current_trace_id` at accept time, so a
+        chaos run embedded in a traced scope ties its injected faults
+        back to the request under test (``None`` for a bare
+        transport-level run, where the proxy cannot see inside the
+        payload).
     """
 
     def __init__(self, upstream_host: str, upstream_port: int, *,
@@ -90,6 +100,7 @@ class ChaosProxy:
         self.host = host
         self.port = port
         self.fault_log: list[tuple[int, str]] = []
+        self.fault_events: list[dict[str, Any]] = []
         self._server: asyncio.base_events.Server | None = None
         self._connections = 0
         self._relays: set[asyncio.Task] = set()
@@ -160,11 +171,15 @@ class ChaosProxy:
         index = self._connections
         self._connections += 1
         kind = self.plan.proxy_fault(index) or "ok"
+        trace_id = _context.current_trace_id()
         self.fault_log.append((index, kind))
+        self.fault_events.append({"connection": index, "kind": kind,
+                                  "trace_id": trace_id})
         self._conn_counter.labels(fault=kind).inc()
         if kind != "ok":
             _log.debug("chaos_fault", extra={"connection": index,
-                                             "kind": kind})
+                                             "kind": kind,
+                                             "trace_id": trace_id})
         if kind == "refuse":
             return  # the finally-abort is the whole fault
         if kind == "delay":
@@ -282,6 +297,12 @@ class BackgroundProxy:
         """The proxy's per-connection fault log (accept order)."""
         assert self.proxy is not None
         return list(self.proxy.fault_log)
+
+    @property
+    def fault_events(self) -> list[dict[str, Any]]:
+        """The proxy's trace-aware fault events (accept order)."""
+        assert self.proxy is not None
+        return list(self.proxy.fault_events)
 
     def stop(self, timeout: float = 30.0) -> None:
         """Close the proxy and join its thread (idempotent)."""

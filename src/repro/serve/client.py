@@ -23,6 +23,14 @@ retrying a request the server *rejected* cannot help.
 the next sleep would overrun the budget, the client stops retrying and
 surfaces the final outcome instead — a saturated fleet cannot amplify
 itself indefinitely.
+
+Trace correlation (generate-or-forward): every ``POST`` body gains a
+``trace_id`` — the active :func:`repro.obs.context.trace_context` when
+one is in flight, a freshly minted id otherwise — plus the caller's
+span id as ``parent_id``, so the server's spans nest under the client's
+``client.call`` span.  The id is attached **once per logical call** and
+reused verbatim across every retry, which is what makes a
+retried-then-succeeded request one trace instead of several.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ from typing import Any
 
 from repro._validation import check_int
 from repro.faults import FaultPlan
+from repro.obs import context as _context
+from repro.obs.tracing import span
 from repro.serve import protocol
 from repro.service.api import ProvisionRequest, ProvisionResult
 
@@ -139,6 +149,16 @@ class ServeClient:
         """
         payload = None
         if body is not None:
+            if "trace_id" not in body:
+                body = dict(body)
+                ctx = _context.current()
+                if ctx is not None:
+                    body["trace_id"] = ctx.trace_id
+                    body.setdefault("parent_id", ctx.span_id)
+                else:
+                    body["trace_id"] = _context.new_trace_id()
+            # Serialized once: every retry of this call reuses the same
+            # trace_id, so a retried request stays one trace.
             payload = json.dumps(body).encode("utf-8")
         deadline = None if self.retry_budget_s is None \
             else time.monotonic() + self.retry_budget_s
@@ -187,8 +207,16 @@ class ServeClient:
         Raises :class:`ServeError` for any non-200 outcome, carrying the
         server's versioned error code (and its ``retry_after_s`` hint,
         when present).
+
+        Runs inside a trace scope (adopted from any active context,
+        opened fresh otherwise) and records a ``client.call`` span — the
+        root of the request's hop tree on the client side.
         """
-        status, data, _content_type = self.request(method, path, body)
+        with _context.trace_context():
+            with span("client.call", method=method, path=path,
+                      endpoint=f"{self.host}:{self.port}"):
+                status, data, _content_type = self.request(method, path,
+                                                           body)
         try:
             doc = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -220,6 +248,14 @@ class ServeClient:
     def metrics_snapshot(self) -> dict[str, Any]:
         """``GET /metrics.json`` — the ``repro-metrics`` snapshot."""
         return self.call("GET", "/metrics.json")
+
+    def slo(self) -> dict[str, Any]:
+        """``GET /slo`` — objectives, compliance and burn rates."""
+        return self.call("GET", "/slo")
+
+    def debugz(self) -> dict[str, Any]:
+        """``GET /debugz`` — the server's flight-recorder dump."""
+        return self.call("GET", "/debugz")
 
     def provision(self, requests: list[ProvisionRequest | dict[str, Any]], *,
                   include_schedules: bool = True) -> list[dict[str, Any]]:

@@ -30,9 +30,14 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Hashable
 
+from repro.obs import context as _context
+from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import default_tracer, span
 
 __all__ = ["Coalescer"]
+
+_log = get_logger("serve.coalesce")
 
 
 class Coalescer:
@@ -41,6 +46,7 @@ class Coalescer:
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         """Create a coalescer; counters live in *registry* when given."""
         self._inflight: dict[Hashable, asyncio.Task] = {}
+        self._flight_trace: dict[Hashable, str | None] = {}
         registry = registry if registry is not None else MetricsRegistry()
         counter = registry.counter(
             "repro_serve_coalesce_total",
@@ -70,22 +76,43 @@ class Coalescer:
         return len(self._inflight)
 
     async def run(self, key: Hashable,
-                  compute: Callable[[], Awaitable[Any]]) -> Any:
+                  compute: Callable[[], Awaitable[Any]], *,
+                  on_outcome: Callable[[str, str | None], None]
+                  | None = None) -> Any:
         """Await the (possibly shared) computation for *key*.
 
         *compute* is only invoked when no flight for *key* exists; its
         result (or exception) is delivered to every waiter of the
         flight.  Awaiting this method is cancellable per waiter — the
-        shared computation itself is not.
+        shared computation itself is not.  *on_outcome*, when given, is
+        called synchronously with ``("led" | "joined",
+        leader_trace_id)`` before awaiting.
+
+        Trace correlation: the flight remembers its leader's
+        ``trace_id``; a joining waiter records a zero-work
+        ``serve.coalesce.join`` span whose ``leader_trace_id`` attribute
+        names the trace that did the computing, so the N→1 dedup is
+        visible from either side's trace tree.
         """
         task = self._inflight.get(key)
         if task is not None and not task.done():
             self._joined.inc()
+            leader_trace_id = self._flight_trace.get(key)
+            default_tracer().record("serve.coalesce.join", 0.0,
+                                    leader_trace_id=leader_trace_id)
+            _log.debug("coalesce_joined",
+                       extra={"leader_trace_id": leader_trace_id})
+            if on_outcome is not None:
+                on_outcome("joined", leader_trace_id)
         else:
             self._led.inc()
             task = asyncio.get_running_loop().create_task(
                 self._lead(key, compute))
             self._inflight[key] = task
+            leader_trace_id = _context.current_trace_id()
+            self._flight_trace[key] = leader_trace_id
+            if on_outcome is not None:
+                on_outcome("led", leader_trace_id)
         # shield(): cancelling one waiter must not cancel the flight the
         # other waiters (and the leader's bookkeeping) depend on.
         return await asyncio.shield(task)
@@ -93,9 +120,11 @@ class Coalescer:
     async def _lead(self, key: Hashable,
                     compute: Callable[[], Awaitable[Any]]) -> Any:
         try:
-            return await compute()
+            with span("serve.coalesce.lead"):
+                return await compute()
         finally:
             # Leave the flight map before waiters wake: a request racing
             # the fan-out either joins this finished task (done() guard
             # above) or leads a fresh one — failures are never cached.
             self._inflight.pop(key, None)
+            self._flight_trace.pop(key, None)

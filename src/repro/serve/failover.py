@@ -39,8 +39,10 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro._validation import check_int
 from repro.faults import FaultPlan
+from repro.obs import context as _context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import span
 from repro.serve.client import ServeClient, ServeError
 from repro.service.api import ProvisionRequest, ProvisionResult
 
@@ -285,7 +287,18 @@ class FailoverClient:
         non-retryably (immediately, from the answering endpoint) or when
         every attempt/budget is exhausted (the *last* failure, so the
         caller sees a real code, not a synthetic one).
+
+        The whole rotation runs inside **one** trace scope: however many
+        endpoints a request visits before succeeding, every attempt
+        carries the same ``trace_id`` (the inner clients forward the
+        active context instead of minting their own).
         """
+        with _context.trace_context():
+            with span("client.failover", method=method, path=path):
+                return self._call_rotation(method, path, body)
+
+    def _call_rotation(self, method: str, path: str,
+                       body: dict[str, Any] | None) -> dict[str, Any]:
         deadline = None if self.retry_budget_s is None \
             else self._clock() + self.retry_budget_s
         start = self._calls

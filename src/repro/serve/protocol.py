@@ -24,6 +24,15 @@ The field is additive and optional (protocol version stays 1): old
 clients ignore it, new clients fall back to their own seeded backoff
 when it is absent.
 
+**Trace correlation** rides the same additive-field policy: a ``POST``
+body may carry ``trace_id`` (and ``parent_id``, the caller's span id) —
+:func:`pop_trace` strips and validates them before schema validation,
+the server adopts the ids via :mod:`repro.obs.context`, and success
+envelopes echo ``trace_id`` back.  Clients generate-or-forward: an
+active :func:`repro.obs.context.trace_context` is forwarded, otherwise
+the client mints a fresh id per logical call (stable across its
+retries), so every request is correlatable end to end.
+
 Domain failures — an infeasible duty budget, impossible class parameters —
 are *not* protocol errors: they travel as per-request ``error`` fields
 inside a ``200`` response, exactly like a ``repro provision`` result line.
@@ -41,8 +50,9 @@ __all__ = ["PROTOCOL_VERSION", "MAX_BATCH", "ProtocolError",
            "ERR_BAD_REQUEST", "ERR_NOT_FOUND", "ERR_METHOD_NOT_ALLOWED",
            "ERR_PAYLOAD_TOO_LARGE", "ERR_OVERLOADED", "ERR_DRAINING",
            "ERR_DEADLINE_EXCEEDED", "ERR_INTERNAL", "ERROR_STATUS",
-           "RETRYABLE_CODES", "ok_doc", "error_doc", "retry_after_hint",
-           "parse_body", "parse_provision_body", "parse_plan_body"]
+           "RETRYABLE_CODES", "MAX_TRACE_ID_LEN", "ok_doc", "error_doc",
+           "retry_after_hint", "parse_body", "pop_trace",
+           "parse_provision_body", "parse_plan_body"]
 
 #: Version stamped into every response body.  Bump on any incompatible
 #: change to the envelope, the error codes or the endpoint schemas.
@@ -148,6 +158,37 @@ def retry_after_hint(doc: Any) -> float | None:
             and hint >= 0:
         return float(hint)
     return None
+
+
+#: Longest accepted ``trace_id``/``parent_id`` value — ids are opaque
+#: client-chosen strings, but they end up in logs and span files, so
+#: they stay bounded and single-line.
+MAX_TRACE_ID_LEN = 128
+
+
+def pop_trace(doc: dict[str, Any]) -> tuple[str | None, str | None]:
+    """Strip the additive trace envelope fields from a request body.
+
+    Returns ``(trace_id, parent_id)`` (either may be None) and removes
+    the keys from *doc* so endpoint schema validation stays strict about
+    everything else.  Mis-typed, empty, oversized or non-printable
+    values raise bad-request — these strings flow into logs verbatim.
+    """
+    values = []
+    for key in ("trace_id", "parent_id"):
+        value = doc.pop(key, None)
+        if value is None:
+            values.append(None)
+            continue
+        if not isinstance(value, str) or not value \
+                or len(value) > MAX_TRACE_ID_LEN \
+                or not value.isprintable():
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"field {key!r} must be a printable string of at most "
+                f"{MAX_TRACE_ID_LEN} characters")
+        values.append(value)
+    return values[0], values[1]
 
 
 def parse_body(raw: bytes) -> dict[str, Any]:

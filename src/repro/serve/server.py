@@ -1,6 +1,6 @@
 """The asyncio schedule server: admission control, deadlines, drain.
 
-One process, four endpoints, no dependencies beyond the stdlib:
+One process, seven endpoints, no dependencies beyond the stdlib:
 
 =====================  =================================================
 ``POST /provision``    answer a batch of ``(n, D, duty)`` requests
@@ -11,7 +11,19 @@ One process, four endpoints, no dependencies beyond the stdlib:
 ``GET /metrics``       Prometheus text exposition of the registry
 ``GET /metrics.json``  the same registry as a ``repro-metrics`` snapshot
                        (validates with ``tools/validate_metrics.py``)
+``GET /slo``           objectives evaluated against the live registry,
+                       with rolling burn rates (``repro-slo`` report)
+``GET /debugz``        the flight recorder: hop timelines of the last K
+                       completed/failed requests, trace ids included
 =====================  =================================================
+
+Every admitted request runs inside a
+:func:`repro.obs.context.trace_context` — adopted from the body's
+additive ``trace_id``/``parent_id`` fields when the client sent them,
+freshly generated otherwise — so its spans, its log lines, its store
+lookups and its flight-recorder entry all share one ``trace_id``, and
+the executor hop propagates the context into the planner thread via
+``contextvars.copy_context``.  Success envelopes echo ``trace_id``.
 
 Three properties the one-shot CLI cannot offer, each load-bearing:
 
@@ -41,14 +53,19 @@ the abandoned work is not wasted — the retry hits the cache.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace as dc_replace
 from time import perf_counter
 from typing import Any, Callable
 
 from repro._validation import check_int
+from repro.obs import context as _context
+from repro.obs import slo as _slo
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import span
@@ -61,7 +78,8 @@ from repro.service.api import (
 )
 from repro.service.store import ScheduleStore
 
-__all__ = ["ServeConfig", "ScheduleServer", "BackgroundServer"]
+__all__ = ["ServeConfig", "ScheduleServer", "BackgroundServer",
+           "FlightRecord", "FlightRecorder"]
 
 _log = get_logger("serve.server")
 
@@ -94,6 +112,12 @@ class ServeConfig:
         Per-request processing budget in seconds; ``None`` disables.
     max_body_bytes:
         Largest request body accepted; beyond it, ``413``.
+    flight_capacity:
+        Requests the ``/debugz`` flight recorder retains (oldest drop).
+    slo_threshold_s, slo_latency_target, slo_availability_target:
+        The ``/slo`` endpoint's stock objectives: *slo_latency_target*
+        of requests under *slo_threshold_s* (pick a histogram bucket
+        bound), *slo_availability_target* of answers non-5xx.
     """
 
     host: str = "127.0.0.1"
@@ -102,15 +126,104 @@ class ServeConfig:
     max_inflight: int = 64
     request_deadline_s: float | None = 30.0
     max_body_bytes: int = 1 << 20
+    flight_capacity: int = 128
+    slo_threshold_s: float = 1.0
+    slo_latency_target: float = 0.99
+    slo_availability_target: float = 0.999
 
     def __post_init__(self) -> None:
         check_int(self.port, "port", minimum=0)
         check_int(self.jobs, "jobs", minimum=1)
         check_int(self.max_inflight, "max_inflight", minimum=0)
         check_int(self.max_body_bytes, "max_body_bytes", minimum=1)
+        check_int(self.flight_capacity, "flight_capacity", minimum=1)
         if self.request_deadline_s is not None \
                 and self.request_deadline_s <= 0:
             raise ValueError("request_deadline_s must be positive or None")
+        if self.slo_threshold_s <= 0:
+            raise ValueError("slo_threshold_s must be positive")
+        for name in ("slo_latency_target", "slo_availability_target"):
+            if not 0.0 < getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must be a fraction in (0, 1)")
+
+
+class FlightRecord:
+    """The hop timeline of one admitted (or refused) request.
+
+    Mutable while the request is in flight; :meth:`FlightRecorder.begin`
+    hands one out and :meth:`finish` freezes outcome and duration.  Hops
+    (``admit``, ``coalesce``, ``pool.submit``, ``pool.done``, ...) carry
+    offsets from the request's start, so a ``/debugz`` entry reads as a
+    self-contained timeline.
+    """
+
+    __slots__ = ("endpoint", "trace_id", "started_unix", "_started",
+                 "hops", "status", "error", "duration_s")
+
+    def __init__(self, endpoint: str):
+        self.endpoint = endpoint
+        self.trace_id: str | None = None
+        self.started_unix = time.time()
+        self._started = perf_counter()
+        self.hops: list[dict[str, Any]] = []
+        self.status: int | None = None
+        self.error: str | None = None
+        self.duration_s: float | None = None
+
+    def hop(self, name: str, **attrs: Any) -> None:
+        """Append a timeline entry at the current offset."""
+        entry = {"hop": name,
+                 "t_s": round(perf_counter() - self._started, 6)}
+        entry.update(attrs)
+        self.hops.append(entry)
+
+    def finish(self, status: int, error: str | None = None) -> None:
+        """Freeze the outcome (idempotent — first call wins)."""
+        if self.status is None:
+            self.status = status
+            self.error = error
+            self.duration_s = round(perf_counter() - self._started, 6)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one ``/debugz`` entry)."""
+        doc: dict[str, Any] = {"endpoint": self.endpoint,
+                               "trace_id": self.trace_id,
+                               "started_unix": round(self.started_unix, 6),
+                               "status": self.status,
+                               "duration_s": self.duration_s,
+                               "hops": list(self.hops)}
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class FlightRecorder:
+    """A bounded ring of the last *capacity* finished requests.
+
+    The in-memory black box behind ``GET /debugz``: always on, O(K)
+    memory, and answerable while the server is saturated (ops endpoints
+    bypass admission).  Entries land in the ring at :meth:`finish` time
+    only — an in-flight request is visible in ``/healthz``'s inflight
+    count, not here.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = check_int(capacity, "capacity", minimum=1)
+        self._ring: deque[FlightRecord] = deque(maxlen=capacity)
+
+    def begin(self, endpoint: str) -> FlightRecord:
+        """A fresh record for one request (not yet in the ring)."""
+        return FlightRecord(endpoint)
+
+    def finish(self, record: FlightRecord, status: int,
+               error: str | None = None) -> None:
+        """Freeze *record* and append it to the ring."""
+        record.finish(status, error)
+        self._ring.append(record)
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """Every retained record, newest first."""
+        return [record.to_dict() for record in reversed(self._ring)]
 
 
 class ScheduleServer:
@@ -154,13 +267,20 @@ class ScheduleServer:
             "HTTP requests answered, by endpoint and outcome code.")
         self._latency = self.registry.histogram(
             "repro_serve_request_seconds",
-            "Wall-clock seconds from request head to response flush.")
+            "Wall-clock seconds from request head to response flush.",
+            exemplars=True)
         self._inflight_gauge = self.registry.gauge(
             "repro_serve_inflight",
             "Provisioning requests currently admitted.").labels()
         self._computed = self.registry.counter(
             "repro_serve_plans_computed_total",
             "Planner evaluations actually run (post-coalescing).").labels()
+        self._flights = FlightRecorder(self.config.flight_capacity)
+        self._objectives = _slo.default_serve_objectives(
+            threshold_s=self.config.slo_threshold_s,
+            latency_target=self.config.slo_latency_target,
+            availability_target=self.config.slo_availability_target)
+        self._burn = _slo.BurnRateTracker(self._objectives)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -229,7 +349,8 @@ class ScheduleServer:
         report = provision_batch_report([request], store=self.store, jobs=1)
         return report.results[0]
 
-    async def _answer(self, request: ProvisionRequest) -> ProvisionResult:
+    async def _answer(self, request: ProvisionRequest,
+                      flight: FlightRecord | None = None) -> ProvisionResult:
         """Resolve one request through the coalescer and worker pool."""
         try:
             key = request.signature()
@@ -241,10 +362,28 @@ class ScheduleServer:
 
         async def compute() -> ProvisionResult:
             self._computed.inc()
-            return await loop.run_in_executor(
-                self._executor, self._plan_fn, request)
+            if flight is not None:
+                flight.hop("pool.submit")
+            # copy_context(): contextvars do not cross the executor hop
+            # by themselves; the snapshot carries the trace context (and
+            # the coalesce.lead span) into the planner thread, so store
+            # lookups and runtime task spans land in the right tree.
+            ctx = contextvars.copy_context()
+            started = perf_counter()
+            try:
+                return await loop.run_in_executor(
+                    self._executor, ctx.run, self._plan_fn, request)
+            finally:
+                if flight is not None:
+                    flight.hop("pool.done",
+                               seconds=round(perf_counter() - started, 6))
 
-        result = await self._coalescer.run(key, compute)
+        def note(outcome: str, leader_trace_id: str | None) -> None:
+            if flight is not None:
+                flight.hop("coalesce", outcome=outcome,
+                           leader_trace_id=leader_trace_id)
+
+        result = await self._coalescer.run(key, compute, on_outcome=note)
         # Joined waiters echo their own request document (identical
         # signature, possibly different spelling of max_duty).
         if result.request is not request:
@@ -259,6 +398,7 @@ class ScheduleServer:
         started = perf_counter()
         endpoint, status, body = "?", 0, b""
         content_type = "application/json"
+        info: dict[str, Any] = {}  # filled by _admit: trace_id
         try:
             try:
                 parsed = await asyncio.wait_for(
@@ -269,7 +409,7 @@ class ScheduleServer:
                 method, path, raw = parsed
                 endpoint = path
                 status, body, content_type = await self._route(
-                    method, path, raw)
+                    method, path, raw, info)
         except protocol.ProtocolError as exc:
             status, body = exc.status, _encode(exc.to_doc())
         except Exception:  # noqa: BLE001 - last-ditch 500, never a crash
@@ -289,7 +429,7 @@ class ScheduleServer:
             pass  # client went away; nothing to tell it
         if status:
             self._latency.labels(endpoint=endpoint).observe(
-                perf_counter() - started)
+                perf_counter() - started, trace_id=info.get("trace_id"))
 
     async def _read_request(self, reader: asyncio.StreamReader
                             ) -> tuple[str, str, bytes] | None:
@@ -338,8 +478,8 @@ class ScheduleServer:
     # ------------------------------------------------------------------
     # routing and endpoints
     # ------------------------------------------------------------------
-    async def _route(self, method: str, path: str, raw: bytes
-                     ) -> tuple[int, bytes, str]:
+    async def _route(self, method: str, path: str, raw: bytes,
+                     info: dict[str, Any]) -> tuple[int, bytes, str]:
         if path == "/healthz":
             _require(method, "GET")
             return 200, _encode(protocol.ok_doc(
@@ -354,9 +494,22 @@ class ScheduleServer:
             _require(method, "GET")
             return 200, self.registry.to_json().encode("utf-8"), \
                 "application/json"
+        if path == "/slo":
+            _require(method, "GET")
+            snapshot = self.registry.snapshot()
+            self._burn.sample(snapshot)
+            report = _slo.evaluate(self._objectives, snapshot,
+                                   self._burn.burn_rates())
+            return 200, _encode(protocol.ok_doc(slo=report)), \
+                "application/json"
+        if path == "/debugz":
+            _require(method, "GET")
+            return 200, _encode(protocol.ok_doc(
+                capacity=self._flights.capacity,
+                requests=self._flights.to_list())), "application/json"
         if path in ("/provision", "/plan"):
             _require(method, "POST")
-            return await self._admit(path, raw)
+            return await self._admit(path, raw, info)
         raise protocol.ProtocolError(protocol.ERR_NOT_FOUND,
                                      f"no such endpoint: {path}")
 
@@ -370,14 +523,23 @@ class ScheduleServer:
         queued = max(0, self._active - self.config.jobs)
         return round(min(5.0, 0.05 + 0.01 * queued), 4)
 
-    async def _admit(self, path: str, raw: bytes) -> tuple[int, bytes, str]:
-        """Admission control around the two provisioning endpoints."""
+    async def _admit(self, path: str, raw: bytes,
+                     info: dict[str, Any]) -> tuple[int, bytes, str]:
+        """Admission control around the two provisioning endpoints.
+
+        Admitted requests run inside a trace context (adopted from the
+        body's ``trace_id``/``parent_id`` or freshly generated) and
+        leave a :class:`FlightRecord` in the ``/debugz`` ring; refusals
+        are recorded too, with the refusal as their only hop.
+        """
         if self._draining:
+            self._record_refusal(path, protocol.ERR_DRAINING)
             raise protocol.ProtocolError(
                 protocol.ERR_DRAINING,
                 "server is draining for shutdown; retry elsewhere",
                 retry_after_s=self._retry_after_hint())
         if self._active >= self.config.max_inflight:
+            self._record_refusal(path, protocol.ERR_OVERLOADED)
             raise protocol.ProtocolError(
                 protocol.ERR_OVERLOADED,
                 f"admission bound of {self.config.max_inflight} in-flight "
@@ -385,19 +547,38 @@ class ScheduleServer:
                 retry_after_s=self._retry_after_hint())
         self._active += 1
         self._inflight_gauge.set(self._active)
+        flight = self._flights.begin(path)
         try:
-            handler = (self._handle_provision if path == "/provision"
-                       else self._handle_plan)
-            if self.config.request_deadline_s is None:
-                return await handler(raw)
-            try:
-                return await asyncio.wait_for(
-                    handler(raw), timeout=self.config.request_deadline_s)
-            except asyncio.TimeoutError:
-                raise protocol.ProtocolError(
-                    protocol.ERR_DEADLINE_EXCEEDED,
-                    "request exceeded its deadline of "
-                    f"{self.config.request_deadline_s}s")
+            doc = protocol.parse_body(raw)
+            trace_id, parent_id = protocol.pop_trace(doc)
+            with _context.trace_context(trace_id=trace_id,
+                                        parent_id=parent_id) as tctx:
+                flight.trace_id = tctx.trace_id
+                info["trace_id"] = tctx.trace_id
+                flight.hop("admit", inflight=self._active)
+                handler = (self._handle_provision if path == "/provision"
+                           else self._handle_plan)
+                with span("serve.request", endpoint=path):
+                    if self.config.request_deadline_s is None:
+                        response = await handler(doc, flight)
+                    else:
+                        try:
+                            response = await asyncio.wait_for(
+                                handler(doc, flight),
+                                timeout=self.config.request_deadline_s)
+                        except asyncio.TimeoutError:
+                            raise protocol.ProtocolError(
+                                protocol.ERR_DEADLINE_EXCEEDED,
+                                "request exceeded its deadline of "
+                                f"{self.config.request_deadline_s}s")
+            self._flights.finish(flight, response[0])
+            return response
+        except protocol.ProtocolError as exc:
+            self._flights.finish(flight, exc.status, error=exc.code)
+            raise
+        except Exception:
+            self._flights.finish(flight, 500, error=protocol.ERR_INTERNAL)
+            raise
         finally:
             self._active -= 1
             self._inflight_gauge.set(self._active)
@@ -405,22 +586,32 @@ class ScheduleServer:
                     and self._drained is not None:
                 self._drained.set()
 
-    async def _handle_provision(self, raw: bytes) -> tuple[int, bytes, str]:
-        requests, include = protocol.parse_provision_body(
-            protocol.parse_body(raw))
+    def _record_refusal(self, path: str, code: str) -> None:
+        """One flight-recorder entry for a request refused at admission."""
+        flight = self._flights.begin(path)
+        flight.hop("refused", code=code, inflight=self._active)
+        self._flights.finish(flight, protocol.ERROR_STATUS[code], error=code)
+
+    async def _handle_provision(self, doc: dict[str, Any],
+                                flight: FlightRecord
+                                ) -> tuple[int, bytes, str]:
+        requests, include = protocol.parse_provision_body(doc)
         with span("serve.provision", requests=len(requests)):
             results = await asyncio.gather(
-                *(self._answer(req) for req in requests))
+                *(self._answer(req, flight) for req in requests))
         docs = [r.to_dict(include_schedule=include) for r in results]
-        return 200, _encode(protocol.ok_doc(results=docs)), \
+        return 200, _encode(protocol.ok_doc(
+            results=docs, trace_id=_context.current_trace_id())), \
             "application/json"
 
-    async def _handle_plan(self, raw: bytes) -> tuple[int, bytes, str]:
-        request, include = protocol.parse_plan_body(protocol.parse_body(raw))
+    async def _handle_plan(self, doc: dict[str, Any],
+                           flight: FlightRecord) -> tuple[int, bytes, str]:
+        request, include = protocol.parse_plan_body(doc)
         with span("serve.plan", n=request.n, d=request.d):
-            result = await self._answer(request)
+            result = await self._answer(request, flight)
         return 200, _encode(protocol.ok_doc(
-            result=result.to_dict(include_schedule=include))), \
+            result=result.to_dict(include_schedule=include),
+            trace_id=_context.current_trace_id())), \
             "application/json"
 
 

@@ -36,6 +36,7 @@ from typing import Any, Callable, Sequence
 
 from repro._validation import check_int
 from repro.faults import FaultPlan
+from repro.obs import context as _context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 
@@ -95,6 +96,10 @@ class Supervisor:
         Auditable timeline of ``(kind, detail)`` tuples — ``start``
         (pid), ``exit`` (return code), ``backoff`` (seconds),
         ``crash-loop`` (crashes in window) — in order.
+    trace_id:
+        The trace id of the supervision run, set when :meth:`run`
+        begins; every restart event logged inside the run is stamped
+        with it (see :mod:`repro.obs.context`).
     """
 
     def __init__(self, argv: Sequence[str], *,
@@ -122,6 +127,7 @@ class Supervisor:
         self._crash_times: list[float] = []
         self.restarts = 0
         self.events: list[tuple[str, Any]] = []
+        self.trace_id: str | None = None
         self._starts = self.registry.counter(
             "repro_supervisor_starts_total",
             "Child processes launched by the supervisor.").labels()
@@ -170,7 +176,17 @@ class Supervisor:
         Returns the final exit code: the child's own code after a clean
         exit or stop request, :data:`CRASH_LOOP_EXIT_CODE` when the
         crash-loop bound trips.
+
+        The whole supervision run shares one trace scope (adopted from
+        any active context, opened fresh otherwise), so every restart
+        event it logs carries the same ``trace_id`` — the id is kept on
+        :attr:`trace_id` for callers that want to correlate externally.
         """
+        with _context.trace_context() as ctx:
+            self.trace_id = ctx.trace_id
+            return self._run()
+
+    def _run(self) -> int:
         while True:
             self._clear_ready_file()
             try:

@@ -44,6 +44,7 @@ from repro.core.planner import GridPoint, Plan, evaluate_grid_point
 from repro.faults import FaultPlan
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import default_tracer, span
 
 __all__ = ["RuntimeConfig", "TaskReport", "RuntimeResult", "execute_tasks",
            "STATUS_OK", "STATUS_RETRIED", "STATUS_TIMED_OUT",
@@ -424,9 +425,11 @@ def _run_inline(distinct, config: RuntimeConfig, checkpoint,
                 if fault == "slow" and faults is not None:
                     time.sleep(faults.slow_seconds)
                 try:
-                    start = perf_counter()
-                    plan = evaluate(task)
-                    duration = perf_counter() - start
+                    with span("runtime.task", digest=digest[:12],
+                              attempt=report.attempts):
+                        start = perf_counter()
+                        plan = evaluate(task)
+                        duration = perf_counter() - start
                 except Exception as exc:
                     kind, error = "error", f"{type(exc).__name__}: {exc}"
             if kind is None:
@@ -499,6 +502,11 @@ def _run_pool(distinct, config: RuntimeConfig, checkpoint,
         report.worker_metrics = worker_snapshot
         instruments.registry.merge(worker_snapshot)
         checkpoint(distinct[digest], plan)
+        # Worker processes have no ambient trace context: the span is
+        # recorded parent-side, back-dated by the worker's own timing.
+        default_tracer().record("runtime.task", duration,
+                                digest=digest[:12],
+                                attempts=report.attempts)
         _log.info("task_completed", extra={
             "digest": digest[:12], "status": report.status,
             "attempts": report.attempts, "duration_s": round(duration, 6)})

@@ -44,6 +44,7 @@ import threading
 from collections import OrderedDict
 from fractions import Fraction
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro._validation import check_int
@@ -55,6 +56,7 @@ from repro.core.serialization import (
 )
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import default_tracer
 
 _log = get_logger("service.store")
 
@@ -499,21 +501,33 @@ class ScheduleStore:
     # internals
     # ------------------------------------------------------------------
     def _get(self, key: dict[str, Any]) -> Plan | None:
+        """Instrumented lookup: a ``store.get`` span (outcome attached)
+        and a trace-stamped debug line around :meth:`_lookup`."""
+        started = perf_counter()
         digest = key_digest(key)
+        plan, outcome = self._lookup(key, digest)
+        default_tracer().record("store.get", perf_counter() - started,
+                                outcome=outcome, digest=digest[:12])
+        _log.debug("store_lookup", extra={"digest": digest[:12],
+                                          "outcome": outcome})
+        return plan
+
+    def _lookup(self, key: dict[str, Any],
+                digest: str) -> tuple[Plan | None, str]:
         with self._memory_lock:
             plan = self._memory.get(digest)
             if plan is not None:
                 self._memory.move_to_end(digest)
         if plan is not None:
             self.stats.record_memory_hit()
-            return plan
+            return plan, "memory-hit"
         path = self.cache_dir / digest[:2] / f"{digest}.json"
         try:
             doc = json.loads(path.read_text())
             plan = self._decode(doc, key)
         except FileNotFoundError:
             self.stats.record_miss()
-            return None
+            return None, "miss"
         except Exception as exc:
             # A bad cache entry is evicted and recomputed, never fatal —
             # but never silently either: the stats record what happened
@@ -525,12 +539,13 @@ class ScheduleStore:
                 "entry": path.name, "reason": f"{type(exc).__name__}: {exc}"})
             if self._quarantine(path):
                 self.stats.record_eviction()
-            return None
+            return None, "corrupt"
         self.stats.record_disk_hit()
         self._remember(digest, plan)
-        return plan
+        return plan, "disk-hit"
 
     def _put(self, key: dict[str, Any], plan: Plan) -> None:
+        started = perf_counter()
         digest = key_digest(key)
         path = self.cache_dir / digest[:2] / f"{digest}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -544,6 +559,8 @@ class ScheduleStore:
         os.replace(tmp, path)
         self.stats.record_store()
         self._remember(digest, plan)
+        default_tracer().record("store.put", perf_counter() - started,
+                                digest=digest[:12])
 
     def _quarantine(self, path: Path) -> bool:
         """Move a bad entry into the quarantine dir; True on success.

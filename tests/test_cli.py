@@ -518,3 +518,103 @@ class TestObservabilityFlags:
         assert "repro_sim_collisions_total" in doc["counters"]
         rate = doc["gauges"]["repro_sim_slots_per_second"]["series"][0]
         assert rate["value"] > 0
+
+
+class TestObs:
+    def _spans(self, tmp_path):
+        spans = [
+            {"name": "client.call", "start_s": 1.0, "duration_s": 0.5,
+             "trace_id": "t" * 16, "span_id": "a" * 16, "parent_id": None,
+             "pid": 1, "attrs": {"path": "/plan"}},
+            {"name": "serve.request", "start_s": 1.1, "duration_s": 0.3,
+             "trace_id": "t" * 16, "span_id": "b" * 16,
+             "parent_id": "a" * 16, "pid": 2, "attrs": {}},
+        ]
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+        return path
+
+    def test_report_renders_the_trace_tree(self, tmp_path, capsys):
+        rc = main(["obs", "report", str(self._spans(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace " + "t" * 16 in out
+        assert "client.call" in out and "serve.request" in out
+        # The child is indented under its parent.
+        lines = out.splitlines()
+        client = next(li for li in lines if "client.call" in li)
+        serve = next(li for li in lines if "serve.request" in li)
+        assert len(serve) - len(serve.lstrip()) \
+            > len(client) - len(client.lstrip())
+
+    def test_report_needs_a_path(self, capsys):
+        assert main(["obs", "report"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_slo_exits_nonzero_on_a_burned_objective(self, tmp_path,
+                                                     capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_serve_requests_total", "requests")
+        for _ in range(90):
+            counter.labels(code="200").inc()
+        for _ in range(10):
+            counter.labels(code="503").inc()
+        snap = tmp_path / "metrics.json"
+        reg.write_json(snap)
+        rc = main(["obs", "slo", "--metrics", str(snap)])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-slo"
+        assert report["ok"] is False
+
+    def test_slo_passes_on_a_healthy_snapshot(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro_serve_requests_total",
+                    "requests").labels(code="200").inc()
+        snap = tmp_path / "metrics.json"
+        reg.write_json(snap)
+        assert main(["obs", "slo", "--metrics", str(snap)]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_slo_honours_an_objectives_file(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        counter = reg.counter("jobs_total", "jobs")
+        for _ in range(8):
+            counter.labels(code="200").inc()
+        counter.labels(code="500").inc()
+        counter.labels(code="500").inc()
+        snap = tmp_path / "metrics.json"
+        reg.write_json(snap)
+        objectives = tmp_path / "objectives.json"
+        objectives.write_text(json.dumps([
+            {"name": "jobs-ok", "kind": "availability",
+             "metric": "jobs_total", "target": 0.9}]))
+        rc = main(["obs", "slo", "--metrics", str(snap),
+                   "--objectives", str(objectives)])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["objectives"][0]["objective"]["name"] == "jobs-ok"
+
+    def test_slo_requires_the_metrics_flag(self, capsys):
+        assert main(["obs", "slo"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCallTrace:
+    def test_trace_flag_prints_the_trace_id(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        rc = main(["call", "health", "--port", str(port), "--retries", "0",
+                   "--trace"])
+        assert rc == 4  # nothing listening: the call itself fails
+        err = capsys.readouterr().err
+        assert "trace_id " in err

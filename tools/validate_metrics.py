@@ -9,9 +9,15 @@ snapshot` as documented in docs/observability.md — the format/version
 header, the three metric sections, and the per-series shapes (labels are
 string->string, counters/gauges carry ``value``, histograms carry a
 metric-level ``buckets`` list and per-series ``count``/``counts``/``sum``
-with ``len(counts) == len(buckets) + 1`` for the +Inf bucket).
-CI runs it over the snapshot a tiny ``repro provision`` emits; the unit
-tests import :func:`validate` directly.
+with ``len(counts) == len(buckets) + 1`` for the +Inf bucket).  A
+histogram series may also carry ``exemplars``: one entry per bucket
+(null, or an object with numeric ``value`` and a ``trace_id`` that is a
+string or null).
+
+``repro obs slo`` reports (format ``repro-slo``) are validated too —
+:func:`main` dispatches on the document's ``format`` header, so CI runs
+one tool over both artefacts; the unit tests import :func:`validate`
+and :func:`validate_slo` directly.
 
 Exit codes: 0 valid, 1 invalid (problems on stderr), 2 unreadable input.
 """
@@ -24,6 +30,16 @@ from pathlib import Path
 
 EXPECTED_FORMAT = "repro-metrics"
 EXPECTED_VERSION = 1
+
+SLO_FORMAT = "repro-slo"
+SLO_VERSION = 1
+
+#: Required members of one ``objectives[i].objective`` sub-document.
+_OBJECTIVE_FIELDS = {"name": str, "kind": str, "metric": str,
+                     "target": (int, float)}
+
+#: Required numeric members of one ``objectives[i]`` result entry.
+_RESULT_FIELDS = ("good", "total", "compliance", "budget_burn")
 
 
 def _series_errors(name: str, kind: str, metric: dict) -> list[str]:
@@ -64,6 +80,34 @@ def _series_errors(name: str, kind: str, metric: dict) -> list[str]:
                 problems.append(f"{where}: missing integer 'count'")
             if not isinstance(entry.get("sum"), (int, float)):
                 problems.append(f"{where}: missing numeric 'sum'")
+            if "exemplars" in entry:
+                problems.extend(_exemplar_errors(where, entry["exemplars"],
+                                                 buckets))
+    return problems
+
+
+def _exemplar_errors(where: str, exemplars: object,
+                     buckets: list | None) -> list[str]:
+    """Validate one histogram series' optional ``exemplars`` list."""
+    if not isinstance(exemplars, list):
+        return [f"{where}: 'exemplars' must be a list"]
+    problems: list[str] = []
+    if buckets is not None and len(exemplars) != len(buckets) + 1:
+        problems.append(f"{where}: len(exemplars)={len(exemplars)} != "
+                        f"len(buckets)+1={len(buckets) + 1}")
+    for j, ex in enumerate(exemplars):
+        if ex is None:
+            continue
+        spot = f"{where}.exemplars[{j}]"
+        if not isinstance(ex, dict):
+            problems.append(f"{spot}: must be null or an object")
+            continue
+        if not isinstance(ex.get("value"), (int, float)) or \
+                isinstance(ex.get("value"), bool):
+            problems.append(f"{spot}: missing numeric 'value'")
+        if "trace_id" not in ex or not (
+                ex["trace_id"] is None or isinstance(ex["trace_id"], str)):
+            problems.append(f"{spot}: 'trace_id' must be a string or null")
     return problems
 
 
@@ -93,8 +137,53 @@ def validate(doc: object) -> list[str]:
     return problems
 
 
+def validate_slo(doc: object) -> list[str]:
+    """All schema violations in a ``repro-slo`` report (empty == valid)."""
+    if not isinstance(doc, dict):
+        return [f"report must be a JSON object, got {type(doc).__name__}"]
+    problems: list[str] = []
+    if doc.get("format") != SLO_FORMAT:
+        problems.append(f"'format' must be {SLO_FORMAT!r}, "
+                        f"got {doc.get('format')!r}")
+    if doc.get("version") != SLO_VERSION:
+        problems.append(f"'version' must be {SLO_VERSION}, "
+                        f"got {doc.get('version')!r}")
+    if not isinstance(doc.get("ok"), bool):
+        problems.append("missing boolean 'ok'")
+    entries = doc.get("objectives")
+    if not isinstance(entries, list):
+        return problems + ["missing 'objectives' list"]
+    for i, entry in enumerate(entries):
+        where = f"objectives[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        objective = entry.get("objective")
+        if not isinstance(objective, dict):
+            problems.append(f"{where}: missing 'objective' object")
+        else:
+            for name, kind in _OBJECTIVE_FIELDS.items():
+                value = objective.get(name)
+                if not isinstance(value, kind) or isinstance(value, bool):
+                    problems.append(f"{where}.objective.{name}: must be "
+                                    f"{getattr(kind, '__name__', 'numeric')}, "
+                                    f"got {value!r}")
+        for name in _RESULT_FIELDS:
+            value = entry.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where}.{name}: must be numeric, "
+                                f"got {value!r}")
+        if not isinstance(entry.get("ok"), bool):
+            problems.append(f"{where}: missing boolean 'ok'")
+    return problems
+
+
 def main(argv: list[str]) -> int:
-    """CLI entry point: validate each path argument; 0 iff all valid."""
+    """CLI entry point: validate each path argument; 0 iff all valid.
+
+    Dispatches on each document's ``format`` header: ``repro-metrics``
+    snapshots and ``repro-slo`` reports are both accepted.
+    """
     if not argv:
         print("usage: validate_metrics.py SNAPSHOT.json [...]",
               file=sys.stderr)
@@ -106,11 +195,18 @@ def main(argv: list[str]) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"{arg}: unreadable: {exc}", file=sys.stderr)
             return 2
-        problems = validate(doc)
+        is_slo = isinstance(doc, dict) and doc.get("format") == SLO_FORMAT
+        problems = validate_slo(doc) if is_slo else validate(doc)
         for problem in problems:
             print(f"{arg}: {problem}", file=sys.stderr)
             code = 1
-        if not problems:
+        if problems:
+            continue
+        if is_slo:
+            burned = sum(1 for e in doc["objectives"] if not e.get("ok"))
+            print(f"{arg}: valid slo report ({len(doc['objectives'])} "
+                  f"objectives, {burned} burned)")
+        else:
             counters = sum(len(m.get("series", []))
                            for m in doc["counters"].values())
             print(f"{arg}: valid ({len(doc['counters'])} counters, "
