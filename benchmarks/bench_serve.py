@@ -29,6 +29,7 @@ import repro.core.planner as planner_mod
 from repro.analysis.tables import Table
 from repro.obs import context as _context
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler, parse_collapsed, sample_profile
 from repro.obs.tracing import Tracer, set_default_tracer, span
 from repro.serve.client import ServeClient
 from repro.serve.server import BackgroundServer, FlightRecorder, ServeConfig
@@ -244,3 +245,62 @@ def test_tracing_overhead_within_budget(report, headline, tmp_path):
               overhead_pct=round(overhead * 100, 3))
     report(table, "serve_trace_overhead")
     headline("tracing_overhead_pct", overhead * 100)
+
+
+def test_sampling_profiler_overhead(report, headline, tmp_path):
+    """The 100 hz sampler must cost < 5% of the warm provision path.
+
+    The sampler charges the program one frame walk per pass, so its
+    steady-state overhead is ``hz * per_pass_cost`` seconds of GIL time
+    per wall second.  The pass cost is micro-measured directly (an A/B
+    p50 comparison over loopback HTTP would drown ~10us of sampling in
+    scheduler noise), then a profiled warm run checks end-to-end that
+    the profile sees the serve stack at all.
+    """
+    registry = MetricsRegistry()
+    store = ScheduleStore(tmp_path / "cache-prof", registry=registry)
+    with BackgroundServer(ServeConfig(port=0, jobs=2), store=store,
+                          registry=registry) as bs:
+        client = ServeClient(bs.host, bs.port, retries=1)
+        client.provision([HOT_DOC], include_schedules=False)  # cold fill
+        latencies = []
+        for _ in range(40):
+            start = perf_counter()
+            client.provision([HOT_DOC], include_schedules=False)
+            latencies.append(perf_counter() - start)
+
+        # Pass cost with the serve tier's real thread population (event
+        # loop + worker pool + client threads) still alive.
+        profiler = SamplingProfiler(hz=100)
+        passes = 200
+        start = perf_counter()
+        for _ in range(passes):
+            profiler.sample_once()
+        per_pass = (perf_counter() - start) / passes
+
+        # End-to-end: the warm path profiled live still yields stacks.
+        with sample_profile(hz=100) as live:
+            for _ in range(10):
+                client.provision([HOT_DOC], include_schedules=False)
+        live_profile = live.stop()
+    warm_p50 = _quantile(sorted(latencies), 0.50)
+
+    # hz walks per second, each stealing per_pass seconds of GIL time:
+    # the fraction of a warm request the sampler can possibly eat.
+    overhead = 100 * per_pass
+    assert overhead <= 0.05, (
+        f"sampling at 100 hz costs {per_pass * 1e6:.1f}us/pass = "
+        f"{overhead:.1%} of wall time; budget is 5%")
+    assert live_profile.samples > 0
+    assert parse_collapsed(live_profile.collapsed())
+
+    table = Table("warm_p50_ms", "pass_cost_us", "overhead_pct",
+                  "live_samples",
+                  title="Sampling-profiler overhead at 100 hz on the warm "
+                        "provision path")
+    table.row(warm_p50_ms=round(warm_p50 * 1e3, 3),
+              pass_cost_us=round(per_pass * 1e6, 2),
+              overhead_pct=round(overhead * 100, 3),
+              live_samples=live_profile.samples)
+    report(table, "serve_profiler_overhead")
+    headline("profiler_overhead_pct", overhead * 100)

@@ -14,12 +14,16 @@ machine-readable JSON summary per benchmark module to
       "format": "repro-bench-summary",
       "version": 1,
       "results": [
-        {"name": "test_provision_batch_warm", "params": {},
+        {"name": "test_provision_batch_warm",
+         "key": "test_provision_batch_warm", "params": {},
          "wall_clock_s": 1.23,
          "headline": {"metric": "warm_batch_mean_s", "value": 0.004}},
         ...
       ]
     }
+
+``key`` is the row's stable identity (test name plus sorted params) —
+what ``repro obs bench-diff`` matches baseline and current rows on.
 
 ``wall_clock_s`` is the whole test's ``perf_counter`` duration.  The
 ``headline`` metric defaults to pytest-benchmark's mean round time when
@@ -116,8 +120,14 @@ def _json_summary(request, headline):
     if callspec is not None:
         params = {k: v if isinstance(v, (int, float, str, bool)) else repr(v)
                   for k, v in callspec.params.items()}
+    name = request.node.originalname or request.node.name
+    # Stable row identity for the bench-history gate (repro.obs.bench):
+    # the same test+params must produce the same key on every run.
+    key = name if not params else \
+        f"{name}[{','.join(f'{k}={params[k]}' for k in sorted(params))}]"
     row = {
-        "name": request.node.originalname or request.node.name,
+        "name": name,
+        "key": key,
         "params": params,
         "wall_clock_s": round(wall, 6),
         "headline": (dict(headline.slot) if headline.slot

@@ -23,7 +23,10 @@ writing Python:
                correlates the whole call
 ``obs``        observability tooling: ``report`` reassembles span JSONL
                into per-request trace trees, ``slo`` evaluates
-               objectives against a metrics snapshot
+               objectives against a metrics snapshot, ``top`` renders a
+               live server's rates/latency/coalesce/breaker state from
+               its ``/metrics/history`` ring, ``bench-diff`` gates
+               benchmark sidecars against a recorded baseline
 ``store``      schedule-store maintenance: ``scrub`` (integrity pass with
                quarantine) and ``clear``
 =============  =============================================================
@@ -66,6 +69,13 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument("--profile", action="store_true",
                        help="print a per-span timing summary table to "
                             "stderr when the command finishes")
+    group.add_argument("--sample-profile", default=None, metavar="PATH",
+                       help="run the command under the sampling profiler "
+                            "and write the collapsed-stack profile here "
+                            "(flamegraph input; see docs/observability.md)")
+    group.add_argument("--sample-hz", type=int, default=100, metavar="HZ",
+                       help="sampling frequency for --sample-profile "
+                            "(default 100)")
     return obs
 
 
@@ -157,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pid-file", default=None, metavar="PATH",
                    help="write the serving process's pid here once the "
                         "listener is bound (chaos drills kill it)")
+    p.add_argument("--history-interval", type=float, default=5.0,
+                   help="seconds between metrics-history scrapes backing "
+                        "GET /metrics/history (default 5)")
     sup = p.add_argument_group("supervision")
     sup.add_argument("--supervise", action="store_true",
                      help="run the server as a supervised child: crashed "
@@ -223,12 +236,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "store stamp the same id on their logs and spans")
 
     p = sub.add_parser("obs", parents=[obs],
-                       help="observability tooling: trace reassembly and "
-                            "SLO evaluation")
-    p.add_argument("action", choices=["report", "slo"],
+                       help="observability tooling: trace reassembly, SLO "
+                            "evaluation, live server top, bench regression "
+                            "gate")
+    p.add_argument("action", choices=["report", "slo", "top", "bench-diff"],
                    help="report: render per-request span trees from "
                         "trace JSONL; slo: evaluate objectives against a "
-                        "metrics snapshot (exit 1 on a burned objective)")
+                        "metrics snapshot (exit 1 on a burned objective); "
+                        "top: live req/s, latency quantiles, coalesce and "
+                        "breaker state of a running server; bench-diff: "
+                        "compare current bench sidecars against a baseline "
+                        "(exit 1 on regression)")
     p.add_argument("traces", nargs="*",
                    help="report: span JSONL files (--trace-out output), "
                         "merged before reassembly")
@@ -237,6 +255,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--objectives", default=None, metavar="PATH",
                    help="slo: JSON list of objective documents "
                         "(default: the serve tier's built-in objectives)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="top: server address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8177,
+                   help="top: server port (default 8177)")
+    p.add_argument("--once", action="store_true",
+                   help="top: print one table and exit (for CI and scripts)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="top: seconds between refreshes (default 2)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="bench-diff: baseline — a history.jsonl (newest "
+                        "record per bench wins), a single summary sidecar, "
+                        "or a results directory")
+    p.add_argument("--results-dir", default="benchmarks/results",
+                   help="bench-diff: directory holding the current "
+                        "repro-bench-summary sidecars "
+                        "(default benchmarks/results)")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="bench-diff: multiplicative noise threshold; a "
+                        "lower-is-better metric regresses beyond "
+                        "baseline*T (default 1.5)")
+    p.add_argument("--threshold-for", action="append", default=[],
+                   metavar="METRIC=RATIO",
+                   help="bench-diff: per-metric threshold override "
+                        "(repeatable)")
+    p.add_argument("--json", dest="obs_json", action="store_true",
+                   help="bench-diff: print the full report as JSON")
 
     p = sub.add_parser("verify", parents=[obs], help="exact transparency decision")
     p.add_argument("schedule", help="schedule JSON path")
@@ -527,6 +571,7 @@ def _cmd_serve(args) -> int:
             host=args.host, port=args.port, jobs=args.jobs,
             max_inflight=args.max_inflight,
             flight_capacity=args.flight_capacity,
+            history_interval_s=args.history_interval,
             request_deadline_s=args.deadline if args.deadline > 0 else None)
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -664,7 +709,152 @@ def _call_action(args, client) -> int:
         return 2
 
 
+def _render_obs_top(samples: list[dict]) -> str:
+    """The ``obs top`` table from a /metrics/history sample list.
+
+    Rates and quantiles are computed over the whole retained window
+    (oldest vs newest sample) with the reset-aware deltas, so a server
+    restart inside the window reads as a traffic dip, not negative load.
+    """
+    from repro.obs import timeseries as _ts
+
+    newest = samples[-1]["snapshot"]
+    t1 = float(samples[-1]["t_unix"])
+    oldest = samples[0]["snapshot"] if len(samples) > 1 else {}
+    t0 = float(samples[0]["t_unix"]) if len(samples) > 1 else t1
+    window = max(t1 - t0, 0.0)
+
+    requests = _ts.counter_delta(oldest, newest, "repro_serve_requests_total")
+    rate = requests / window if window > 0 else None
+    bounds, deltas, _count, _sum = _ts.histogram_delta(
+        oldest, newest, "repro_serve_request_seconds")
+    p50 = _ts.histogram_quantile(bounds, deltas, 0.5)
+    p99 = _ts.histogram_quantile(bounds, deltas, 0.99)
+    led = _ts.counter_delta(oldest, newest, "repro_serve_coalesce_total",
+                            where={"result": "led"})
+    joined = _ts.counter_delta(oldest, newest, "repro_serve_coalesce_total",
+                               where={"result": "joined"})
+    hit = joined / (led + joined) if (led + joined) > 0 else None
+
+    def fmt(value, unit="", scale=1.0, digits=2):
+        return "-" if value is None else f"{value * scale:.{digits}f}{unit}"
+
+    breakers = _ts.gauge_values(newest, "repro_failover_breaker_open")
+    if breakers:
+        opened = sorted(dict(key).get("endpoint", str(dict(key)))
+                        for key, value in breakers.items() if value >= 1.0)
+        state = f"{len(opened)}/{len(breakers)} open"
+        if opened:
+            state += f" ({', '.join(opened)})"
+    else:
+        state = "none tracked"
+    return "\n".join([
+        f"window    {window:.1f}s over {len(samples)} sample(s)",
+        f"requests  {requests:g} ({fmt(rate)}/s)",
+        f"p50       {fmt(p50, ' ms', 1000.0)}",
+        f"p99       {fmt(p99, ' ms', 1000.0)}",
+        f"coalesce  {fmt(hit, '%', 100.0, 1)} joined "
+        f"({joined:g}/{led + joined:g})",
+        f"breakers  {state}",
+    ])
+
+
+def _obs_top(args) -> int:
+    import time as _time
+
+    from repro.obs import timeseries as _ts
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, retries=0)
+    while True:
+        try:
+            samples = _ts.parse_history(client.metrics_history())
+        except (ServeError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not samples:
+            print("error: the server has not scraped any history yet",
+                  file=sys.stderr)
+            return 1
+        print(_render_obs_top(samples), flush=True)
+        if args.once:
+            return 0
+        try:
+            _time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+        print(flush=True)
+
+
+def _load_bench_baseline(path):
+    """A bench-diff baseline: history.jsonl, one sidecar, or a directory."""
+    from pathlib import Path
+
+    from repro.obs import bench as _bench
+
+    p = Path(path)
+    if p.is_dir():
+        return _bench.load_sidecars(p)
+    try:
+        return _bench.latest_by_bench(_bench.read_history(p))
+    except ValueError:
+        pass  # not history JSONL; try a single JSON document below
+    doc = json.loads(p.read_text())
+    if isinstance(doc, dict) and doc.get("format") in (
+            _bench.SUMMARY_FORMAT, _bench.HISTORY_FORMAT):
+        return {str(doc.get("benchmark") or doc.get("bench") or p.stem): doc}
+    raise ValueError(f"{path}: neither {_bench.HISTORY_FORMAT} JSONL, a "
+                     f"{_bench.SUMMARY_FORMAT} sidecar, nor a directory")
+
+
+def _obs_bench_diff(args) -> int:
+    from repro.obs import bench as _bench
+
+    if args.baseline is None:
+        print("error: obs bench-diff needs --baseline PATH", file=sys.stderr)
+        return 2
+    per_metric = {}
+    try:
+        for entry in args.threshold_for:
+            metric, sep, ratio = entry.partition("=")
+            if not sep or not metric:
+                raise ValueError(
+                    f"--threshold-for wants METRIC=RATIO, got {entry!r}")
+            per_metric[metric] = float(ratio)
+        current = _bench.load_sidecars(args.results_dir)
+        if not current:
+            raise ValueError(f"no {_bench.SUMMARY_FORMAT} sidecars under "
+                             f"{args.results_dir} (run the benchmarks first)")
+        baseline = _load_bench_baseline(args.baseline)
+        report = _bench.diff(current, baseline, threshold=args.threshold,
+                             per_metric=per_metric)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for c in report.compared:
+            flag = "REGRESSED" if c.regressed else "ok"
+            direction = "down" if c.lower_better else "up"
+            ratio = "inf" if c.ratio == float("inf") else f"{c.ratio:.3f}x"
+            print(f"{flag:>9}  {c.bench}:{c.key} {c.metric} "
+                  f"{c.baseline:g} -> {c.current:g} ({ratio}, want {direction}"
+                  f", threshold {c.threshold:g})")
+        for name in report.missing_in_baseline:
+            print(f"     new   {name} (not in baseline; not gated)")
+        for name in report.missing_in_current:
+            print(f"    gone   {name} (in baseline only; not gated)")
+        print(f"{len(report.compared)} compared, "
+              f"{len(report.regressions)} regression(s)")
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args) -> int:
+    if args.action == "top":
+        return _obs_top(args)
+    if args.action == "bench-diff":
+        return _obs_bench_diff(args)
     if args.action == "report":
         from repro.obs.tracing import read_jsonl, render_trace_trees
 
@@ -1025,11 +1215,29 @@ def _export_observability(args, registry, tracer) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import contextlib
+
     args = build_parser().parse_args(argv)
     registry, tracer = _setup_observability(args)
+    profile_cm = contextlib.nullcontext()
+    if args.sample_profile:
+        from repro.obs.profile import MAX_HZ, sample_profile
+
+        if not 1 <= args.sample_hz <= MAX_HZ:
+            print(f"error: --sample-hz must be in [1, {MAX_HZ}], "
+                  f"got {args.sample_hz}", file=sys.stderr)
+            return 2
+        profile_cm = sample_profile(args.sample_hz, out=args.sample_profile)
+    code = None
     try:
-        code = _COMMANDS[args.command](args)
+        with profile_cm:
+            code = _COMMANDS[args.command](args)
     except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
+    except OSError as exc:
+        if code is None:  # the command itself failed: preserve the raise
+            raise
         print(f"error: {exc}", file=sys.stderr)
         code = 2
     export_code = _export_observability(args, registry, tracer)

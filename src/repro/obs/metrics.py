@@ -389,6 +389,8 @@ class MetricsRegistry:
         Label values are escaped per the exposition format (backslash,
         double quote and newline), and HELP text escapes backslash and
         newline — arbitrary request-derived labels always scrape clean.
+        An empty registry renders a comment-only exposition (valid to
+        every scraper) rather than a zero-byte body.
         """
 
         def esc_label(value: str) -> str:
@@ -426,7 +428,9 @@ class MetricsRegistry:
                     lines.append(f"{name}_sum{fmt_labels(s.labels)} {s.sum:g}")
                     lines.append(
                         f"{name}_count{fmt_labels(s.labels)} {s.count}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        if not lines:
+            return "# repro-metrics: no metrics registered\n"
+        return "\n".join(lines) + "\n"
 
 
 _default = MetricsRegistry()

@@ -257,6 +257,26 @@ class ServeClient:
         """``GET /debugz`` — the server's flight-recorder dump."""
         return self.call("GET", "/debugz")
 
+    def metrics_history(self) -> dict[str, Any]:
+        """``GET /metrics/history`` — the ``repro-metrics-history`` ring."""
+        return self.call("GET", "/metrics/history")
+
+    def profilez(self, seconds: float = 1.0, *,
+                 hz: int | None = None) -> str:
+        """``GET /profilez`` — collapsed-stack profile of the live server.
+
+        Blocks for *seconds* (plus transport time); raise the client
+        *timeout* accordingly for long windows.
+        """
+        path = f"/profilez?seconds={seconds:g}"
+        if hz is not None:
+            path += f"&hz={hz}"
+        status, data, _ct = self.request("GET", path)
+        if status != 200:
+            raise ServeError(status, _error_code(status, data) or "internal",
+                             "profilez endpoint failed")
+        return data.decode("utf-8")
+
     def provision(self, requests: list[ProvisionRequest | dict[str, Any]], *,
                   include_schedules: bool = True) -> list[dict[str, Any]]:
         """``POST /provision`` — returns the raw result documents.

@@ -1,21 +1,32 @@
 """The asyncio schedule server: admission control, deadlines, drain.
 
-One process, seven endpoints, no dependencies beyond the stdlib:
+One process, nine endpoints, no dependencies beyond the stdlib:
 
-=====================  =================================================
-``POST /provision``    answer a batch of ``(n, D, duty)`` requests
-                       (coalesced per signature, backed by the hot
-                       store and worker pool)
-``POST /plan``         single-request convenience form of the same
-``GET /healthz``       liveness + serving/draining state + inflight
-``GET /metrics``       Prometheus text exposition of the registry
-``GET /metrics.json``  the same registry as a ``repro-metrics`` snapshot
-                       (validates with ``tools/validate_metrics.py``)
-``GET /slo``           objectives evaluated against the live registry,
-                       with rolling burn rates (``repro-slo`` report)
-``GET /debugz``        the flight recorder: hop timelines of the last K
-                       completed/failed requests, trace ids included
-=====================  =================================================
+========================  ==============================================
+``POST /provision``       answer a batch of ``(n, D, duty)`` requests
+                          (coalesced per signature, backed by the hot
+                          store and worker pool)
+``POST /plan``            single-request convenience form of the same
+``GET /healthz``          liveness + serving/draining state + inflight
+``GET /metrics``          Prometheus text exposition of the registry
+``GET /metrics.json``     the same registry as a ``repro-metrics``
+                          snapshot (validates with
+                          ``tools/validate_metrics.py``)
+``GET /metrics/history``  the last K registry snapshots, scraped on a
+                          background task every ``history_interval_s``
+                          (``repro-metrics-history`` document; feeds
+                          ``repro obs top``)
+``GET /slo``              objectives evaluated against the live
+                          registry, with rolling burn rates
+                          (``repro-slo`` report)
+``GET /debugz``           the flight recorder: hop timelines of the
+                          last K completed/failed requests, trace ids
+                          included
+``GET /profilez``         sample every server thread (event loop *and*
+                          worker pool) for ``?seconds=N`` at ``?hz=H``;
+                          returns collapsed stacks (text/plain, ready
+                          for flamegraph tooling)
+========================  ==============================================
 
 Every admitted request runs inside a
 :func:`repro.obs.context.trace_context` — adopted from the body's
@@ -63,9 +74,13 @@ from dataclasses import dataclass, replace as dc_replace
 from time import perf_counter
 from typing import Any, Callable
 
+from urllib.parse import parse_qs
+
 from repro._validation import check_int
 from repro.obs import context as _context
+from repro.obs import profile as _profile
 from repro.obs import slo as _slo
+from repro.obs import timeseries as _timeseries
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import span
@@ -79,9 +94,18 @@ from repro.service.api import (
 from repro.service.store import ScheduleStore
 
 __all__ = ["ServeConfig", "ScheduleServer", "BackgroundServer",
-           "FlightRecord", "FlightRecorder"]
+           "FlightRecord", "FlightRecorder", "SERVE_LATENCY_BUCKETS"]
 
 _log = get_logger("serve.server")
+
+#: Request-latency histogram bounds.  Warm cache hits answer in well
+#: under a millisecond, so the default seconds-flavoured buckets crushed
+#: the entire warm distribution into the first bucket; the sub-ms decade
+#: here keeps warm p50 readable while the upper bounds still cover cold
+#: planner evaluations.  The SLO threshold default (1.0s) stays a bound.
+SERVE_LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                         0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                         5.0, 10.0, 30.0)
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
@@ -118,6 +142,12 @@ class ServeConfig:
         The ``/slo`` endpoint's stock objectives: *slo_latency_target*
         of requests under *slo_threshold_s* (pick a histogram bucket
         bound), *slo_availability_target* of answers non-5xx.
+    history_interval_s, history_capacity:
+        The ``/metrics/history`` scrape cadence and ring depth — the
+        defaults keep 30 minutes of 5-second samples in ~O(capacity)
+        memory.
+    profilez_max_seconds:
+        Longest profiling window one ``GET /profilez`` call may request.
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +160,9 @@ class ServeConfig:
     slo_threshold_s: float = 1.0
     slo_latency_target: float = 0.99
     slo_availability_target: float = 0.999
+    history_interval_s: float = 5.0
+    history_capacity: int = 360
+    profilez_max_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         check_int(self.port, "port", minimum=0)
@@ -137,11 +170,16 @@ class ServeConfig:
         check_int(self.max_inflight, "max_inflight", minimum=0)
         check_int(self.max_body_bytes, "max_body_bytes", minimum=1)
         check_int(self.flight_capacity, "flight_capacity", minimum=1)
+        check_int(self.history_capacity, "history_capacity", minimum=1)
         if self.request_deadline_s is not None \
                 and self.request_deadline_s <= 0:
             raise ValueError("request_deadline_s must be positive or None")
         if self.slo_threshold_s <= 0:
             raise ValueError("slo_threshold_s must be positive")
+        if self.history_interval_s <= 0:
+            raise ValueError("history_interval_s must be positive")
+        if self.profilez_max_seconds <= 0:
+            raise ValueError("profilez_max_seconds must be positive")
         for name in ("slo_latency_target", "slo_availability_target"):
             if not 0.0 < getattr(self, name) < 1.0:
                 raise ValueError(f"{name} must be a fraction in (0, 1)")
@@ -268,7 +306,7 @@ class ScheduleServer:
         self._latency = self.registry.histogram(
             "repro_serve_request_seconds",
             "Wall-clock seconds from request head to response flush.",
-            exemplars=True)
+            buckets=SERVE_LATENCY_BUCKETS, exemplars=True)
         self._inflight_gauge = self.registry.gauge(
             "repro_serve_inflight",
             "Provisioning requests currently admitted.").labels()
@@ -280,7 +318,11 @@ class ScheduleServer:
             threshold_s=self.config.slo_threshold_s,
             latency_target=self.config.slo_latency_target,
             availability_target=self.config.slo_availability_target)
-        self._burn = _slo.BurnRateTracker(self._objectives)
+        self._burn = _slo.BurnRateTracker(self._objectives,
+                                          registry=self.registry)
+        self._history = _timeseries.SnapshotRing(
+            capacity=self.config.history_capacity)
+        self._history_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -294,10 +336,22 @@ class ScheduleServer:
             self._handle_connection, self.config.host, self.config.port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        self._history_task = asyncio.create_task(self._scrape_history())
         _log.info("serve_started", extra={
             "host": self.host, "port": self.port, "jobs": self.config.jobs,
             "max_inflight": self.config.max_inflight})
         return self.host, self.port
+
+    async def _scrape_history(self) -> None:
+        """Background task: snapshot the registry into the history ring.
+
+        Takes an immediate first sample (``/metrics/history`` answers
+        from the very first scrape), then one every
+        ``history_interval_s`` until cancelled at shutdown.
+        """
+        while True:
+            self._history.append(self.registry.snapshot())
+            await asyncio.sleep(self.config.history_interval_s)
 
     @property
     def draining(self) -> bool:
@@ -332,6 +386,12 @@ class ScheduleServer:
         if self._server is None or self._drained is None:
             return
         await self._drained.wait()
+        if self._history_task is not None:
+            self._history_task.cancel()
+            try:
+                await self._history_task
+            except asyncio.CancelledError:
+                pass
         self._server.close()
         await self._server.wait_closed()
         # wait=False: a deadline-abandoned planner thread must not block
@@ -406,10 +466,10 @@ class ScheduleServer:
             except asyncio.TimeoutError:
                 parsed = None  # slow client: hang up without a response
             if parsed is not None:
-                method, path, raw = parsed
+                method, path, query, raw = parsed
                 endpoint = path
                 status, body, content_type = await self._route(
-                    method, path, raw, info)
+                    method, path, query, raw, info)
         except protocol.ProtocolError as exc:
             status, body = exc.status, _encode(exc.to_doc())
         except Exception:  # noqa: BLE001 - last-ditch 500, never a crash
@@ -432,7 +492,7 @@ class ScheduleServer:
                 perf_counter() - started, trace_id=info.get("trace_id"))
 
     async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> tuple[str, str, bytes] | None:
+                            ) -> tuple[str, str, str, bytes] | None:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
@@ -462,7 +522,8 @@ class ScheduleServer:
                 f"body of {length} bytes exceeds the limit of "
                 f"{self.config.max_body_bytes}")
         body = await reader.readexactly(length) if length else b""
-        return method, target.partition("?")[0], body
+        path, _, query = target.partition("?")
+        return method, path, query, body
 
     async def _write_response(self, writer: asyncio.StreamWriter,
                               status: int, body: bytes,
@@ -478,7 +539,7 @@ class ScheduleServer:
     # ------------------------------------------------------------------
     # routing and endpoints
     # ------------------------------------------------------------------
-    async def _route(self, method: str, path: str, raw: bytes,
+    async def _route(self, method: str, path: str, query: str, raw: bytes,
                      info: dict[str, Any]) -> tuple[int, bytes, str]:
         if path == "/healthz":
             _require(method, "GET")
@@ -494,6 +555,14 @@ class ScheduleServer:
             _require(method, "GET")
             return 200, self.registry.to_json().encode("utf-8"), \
                 "application/json"
+        if path == "/metrics/history":
+            _require(method, "GET")
+            doc = self._history.to_doc(
+                interval_s=self.config.history_interval_s)
+            return 200, _encode(doc), "application/json"
+        if path == "/profilez":
+            _require(method, "GET")
+            return await self._profilez(query)
         if path == "/slo":
             _require(method, "GET")
             snapshot = self.registry.snapshot()
@@ -512,6 +581,51 @@ class ScheduleServer:
             return await self._admit(path, raw, info)
         raise protocol.ProtocolError(protocol.ERR_NOT_FOUND,
                                      f"no such endpoint: {path}")
+
+    async def _profilez(self, query: str) -> tuple[int, bytes, str]:
+        """``GET /profilez?seconds=N&hz=H``: sample the live process.
+
+        Runs a :class:`~repro.obs.profile.SamplingProfiler` for the
+        requested window while the event loop keeps serving (the sampler
+        is its own thread; this coroutine just awaits), then answers
+        with the collapsed-stack text.  Sees *every* thread — the event
+        loop and the ``repro-serve-plan`` worker pool — so a profile
+        taken under load shows exactly where planner time goes.  Ops
+        endpoint: bypasses admission, usable while saturated.
+        """
+        params = parse_qs(query, keep_blank_values=False)
+
+        def scalar(name: str, default: float, cast) -> Any:
+            values = params.get(name)
+            if not values:
+                return default
+            try:
+                return cast(values[-1])
+            except (TypeError, ValueError):
+                raise protocol.ProtocolError(
+                    protocol.ERR_BAD_REQUEST,
+                    f"invalid {name!r} query parameter: {values[-1]!r}")
+
+        seconds = scalar("seconds", 1.0, float)
+        hz = scalar("hz", _profile.DEFAULT_HZ, int)
+        if not 0.0 < seconds <= self.config.profilez_max_seconds:
+            raise protocol.ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"seconds must be in (0, {self.config.profilez_max_seconds:g}]"
+                f", got {seconds:g}")
+        try:
+            profiler = _profile.SamplingProfiler(hz=hz)
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(protocol.ERR_BAD_REQUEST, str(exc))
+        profiler.start()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            prof = profiler.stop()
+        _log.info("profilez", extra={"seconds": seconds, "hz": hz,
+                                     "samples": prof.samples})
+        return (200, prof.collapsed().encode("utf-8"),
+                "text/plain; charset=utf-8")
 
     def _retry_after_hint(self) -> float:
         """Backoff hint (seconds) for refused requests, from queue depth.

@@ -192,6 +192,83 @@ class TestExports:
     def test_default_buckets_are_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_prometheus_exemplar_histogram_exports_clean(self):
+        # Exemplars live in the JSON snapshot only; the text exposition
+        # of an exemplar-bearing histogram must stay plain and parseable.
+        reg = MetricsRegistry()
+        series = reg.histogram("lat", "h", buckets=(0.1, 1.0),
+                               exemplars=True).labels(endpoint="/plan")
+        series.observe(0.05, trace_id="ab" * 8)
+        series.observe(5.0, trace_id="cd" * 8)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{endpoint="/plan",le="0.1"} 1' in text
+        assert 'lat_bucket{endpoint="/plan",le="+Inf"} 2' in text
+        assert "trace_id" not in text  # exemplars never leak into text
+        # ...but they do surface in the snapshot, validator-clean.
+        entry = reg.snapshot()["histograms"]["lat"]["series"][0]
+        assert any(ex and ex["trace_id"] == "cd" * 8
+                   for ex in entry["exemplars"])
+
+    def test_prometheus_label_with_backslash_and_quote(self):
+        # Both escapes in one value: the backslash must be escaped
+        # first, or the quote's escape gets double-escaped.  Asserted by
+        # round-trip: a standard exposition-format unescape of the
+        # emitted label recovers the original value exactly.
+        import re
+
+        value = 'C:\\tmp\\"x"'
+        reg = MetricsRegistry()
+        reg.counter("c", "h").labels(path=value).inc()
+        series_lines = [ln for ln in reg.to_prometheus().splitlines()
+                        if ln.startswith("c{")]
+        assert len(series_lines) == 1
+        match = re.search(r'path="((?:[^"\\]|\\.)*)"', series_lines[0])
+        assert match is not None
+
+        def unescape(s):
+            out, i = [], 0
+            while i < len(s):
+                if s[i] == "\\" and i + 1 < len(s):
+                    out.append("\n" if s[i + 1] == "n" else s[i + 1])
+                    i += 2
+                else:
+                    out.append(s[i])
+                    i += 1
+            return "".join(out)
+
+        assert unescape(match.group(1)) == value
+
+    def test_prometheus_empty_registry_is_comment_only(self):
+        text = MetricsRegistry().to_prometheus()
+        assert text  # never a zero-byte scrape body
+        assert text.endswith("\n")
+        assert all(line.startswith("#")
+                   for line in text.splitlines() if line.strip())
+
+    def test_histogram_buckets_are_per_instance(self):
+        reg = MetricsRegistry()
+        fine = reg.histogram("fine", "h", buckets=(0.0001, 0.001, 0.01))
+        coarse = reg.histogram("coarse", "h", buckets=(1.0, 10.0))
+        fine.labels().observe(0.0005)
+        coarse.labels().observe(0.0005)
+        snap = reg.snapshot()
+        assert snap["histograms"]["fine"]["buckets"] == [0.0001, 0.001, 0.01]
+        assert snap["histograms"]["coarse"]["buckets"] == [1.0, 10.0]
+        # The same observation lands in different buckets per layout.
+        assert snap["histograms"]["fine"]["series"][0]["counts"] == [0, 1,
+                                                                     0, 0]
+        assert snap["histograms"]["coarse"]["series"][0]["counts"] == [1, 0,
+                                                                       0]
+
+    def test_serve_latency_buckets_resolve_sub_millisecond(self):
+        from repro.serve.server import SERVE_LATENCY_BUCKETS
+
+        assert list(SERVE_LATENCY_BUCKETS) == sorted(SERVE_LATENCY_BUCKETS)
+        # Sub-ms resolution for the coalesced fast path, and 1.0s still a
+        # bound so the default SLO threshold lands exactly on a bucket.
+        assert sum(1 for b in SERVE_LATENCY_BUCKETS if b < 0.001) >= 3
+        assert 1.0 in SERVE_LATENCY_BUCKETS
+
 
 class TestDefaultRegistry:
     def test_set_default_registry_swaps_and_returns_old(self):

@@ -156,6 +156,43 @@ class TestBurnRateTracker:
         tracker.sample(_snapshot(ok=10))
         assert tracker.burn_rates()[obj.name]["60s"] is None
 
+    def test_counter_reset_never_reports_negative_burn(self):
+        # A supervised restart re-reports counters from zero, so a
+        # later sample's totals go *down*; every negative delta must
+        # clamp to zero and never surface as a negative burn.
+        obj = Objective(name="ok", kind="availability",
+                        metric="repro_serve_requests_total", target=0.99)
+        reg = MetricsRegistry()
+        now = [0.0]
+        tracker = BurnRateTracker([obj], windows_s=(600.0,),
+                                  clock=lambda: now[0], registry=reg)
+        tracker.sample(_snapshot(ok=100, errors=50))  # before the crash
+        now[0] = 30.0
+        tracker.sample(_snapshot(ok=5))               # restarted: 5 < 150
+        rates = tracker.burn_rates()[obj.name]
+        # Total went down: no window delta, never a negative burn.
+        assert rates["600s"] is None
+        now[0] = 60.0
+        tracker.sample(_snapshot(ok=40, errors=1))
+        rates = tracker.burn_rates()[obj.name]
+        assert rates["600s"] is not None
+        assert rates["600s"] >= 0.0
+
+    def test_counter_reset_is_counted_per_objective(self):
+        obj = default_serve_objectives()[1]
+        reg = MetricsRegistry()
+        now = [0.0]
+        tracker = BurnRateTracker([obj], windows_s=(60.0,),
+                                  clock=lambda: now[0], registry=reg)
+        tracker.sample(_snapshot(ok=100))
+        now[0] = 10.0
+        tracker.sample(_snapshot(ok=3))  # restart
+        now[0] = 20.0
+        tracker.sample(_snapshot(ok=50))  # normal growth: no new reset
+        counter = reg.get("repro_slo_counter_resets")
+        assert counter is not None
+        assert counter.value(objective=obj.name) == 1.0
+
 
 class TestExemplars:
     def test_exemplars_capture_the_worst_recent_observation(self):

@@ -6,7 +6,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parents[2] / "tools"))
 try:
-    from validate_trace import validate, validate_lines
+    from validate_trace import is_collapsed_profile, validate, validate_lines
+    from validate_trace import main as validate_trace_main
 finally:
     sys.path.pop(0)
 
@@ -79,3 +80,31 @@ class TestLines:
         problems = validate_lines(text)
         assert any("blank" in p for p in problems)
         assert any("unparseable" in p for p in problems)
+
+
+class TestProfileSidecars:
+    def test_collapsed_profiles_are_recognized(self):
+        text = ("thread:MainThread;repro.cli.main;repro.cli._cmd_sweep 42\n"
+                "thread:repro-serve-plan;m.f 7\n")
+        assert is_collapsed_profile(text)
+        assert not is_collapsed_profile(json.dumps(_span()) + "\n")
+        assert not is_collapsed_profile("")
+        assert not is_collapsed_profile("just some words\nno counts here\n")
+
+    def test_sampling_profiler_output_is_recognized(self):
+        from repro.obs.profile import profile_wait
+
+        profile = profile_wait(0.05, hz=50)
+        assert is_collapsed_profile(profile.collapsed())
+
+    def test_main_skips_profiles_passed_via_glob(self, tmp_path, capsys):
+        # An artefact directory mixes span dumps and profile sidecars;
+        # the validator must accept the glob and ignore the profiles.
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(_span()) + "\n")
+        profile = tmp_path / "sweep.collapsed"
+        profile.write_text("thread:MainThread;m.f 3\n")
+        assert validate_trace_main([str(trace), str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert "1 spans" in out

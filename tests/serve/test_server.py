@@ -26,6 +26,8 @@ import pytest
 from repro.core.nonsleeping import mols_schedule
 from repro.core.planner import GridPoint, evaluate_grid_point
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import parse_collapsed
+from repro.obs.timeseries import counter_delta, counter_total, parse_history
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.server import BackgroundServer, ServeConfig
 from repro.service.api import ProvisionRequest, ProvisionResult
@@ -33,7 +35,7 @@ from repro.service.store import ScheduleStore
 
 sys.path.insert(0, str(Path(__file__).parents[2] / "tools"))
 try:
-    from validate_metrics import validate
+    from validate_metrics import validate, validate_history
 finally:
     sys.path.pop(0)
 
@@ -329,3 +331,137 @@ class TestRealPlanner:
                                     include_schedules=False)
             assert "error" in docs[0]
             assert "request" in docs[0]
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_history_accumulates_and_validates(self, tiny_plan):
+        fn = _counting_plan_fn(tiny_plan)
+        config = ServeConfig(port=0, history_interval_s=0.05,
+                             history_capacity=16)
+        with BackgroundServer(config, plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            client.provision([{"n": 12, "d": 2, "max_duty": 0.5}],
+                             include_schedules=False)
+            deadline = time.monotonic() + 20
+            while True:
+                doc = client.metrics_history()
+                samples = parse_history(doc)
+                # Wait for a scrape that has seen the provision above.
+                if len(samples) >= 2 and counter_total(
+                        samples[-1]["snapshot"],
+                        "repro_serve_requests_total") > 0:
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        # The payload passes the shipped schema validator end to end.
+        assert validate_history(doc) == []
+        assert doc["capacity"] == 16
+        assert doc["interval_s"] == 0.05
+        # The ring's snapshots support the delta math obs top runs on.
+        delta = counter_delta(samples[0]["snapshot"], samples[-1]["snapshot"],
+                              "repro_serve_requests_total")
+        assert delta >= 0.0
+
+    def test_history_ring_is_bounded(self, tiny_plan):
+        config = ServeConfig(port=0, history_interval_s=0.01,
+                             history_capacity=3)
+        with BackgroundServer(config,
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            deadline = time.monotonic() + 20
+            while len(parse_history(client.metrics_history())) < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            time.sleep(0.1)  # many more scrapes than the ring holds
+            assert len(parse_history(client.metrics_history())) == 3
+
+    def test_profilez_sees_the_worker_pool_under_load(self, tiny_plan):
+        """Acceptance: a loaded server's profile shows worker-pool frames."""
+        release = threading.Event()
+        fn = _counting_plan_fn(tiny_plan, release=release)
+        with BackgroundServer(ServeConfig(port=0, jobs=2),
+                              plan_fn=fn) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            with ThreadPoolExecutor(1) as pool:
+                future = pool.submit(
+                    lambda: client.provision(
+                        [{"n": 12, "d": 2, "max_duty": 0.5}],
+                        include_schedules=False))
+                deadline = time.monotonic() + 20
+                while bs.server.active < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                # The pool thread is parked inside the plan_fn: profile it.
+                text = client.profilez(seconds=0.3, hz=200)
+                release.set()
+                future.result(timeout=30)
+        counts = parse_collapsed(text)
+        assert counts  # non-empty and parseable
+        pool_stacks = [s for s in counts
+                       if s[0].startswith("thread:repro-serve-plan")]
+        assert pool_stacks
+        # The blocked plan function itself is on a pool stack.
+        assert any("fn" in label for stack in pool_stacks
+                   for label in stack)
+
+    def test_profilez_validates_its_query(self, tiny_plan):
+        config = ServeConfig(port=0, profilez_max_seconds=1.0)
+        with BackgroundServer(config,
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            for query in ("seconds=999", "seconds=0", "seconds=nope",
+                          "hz=0", "hz=99999", "hz=1.5"):
+                status, data, _ct = client.request("GET",
+                                                   f"/profilez?{query}")
+                assert status == 400, query
+                doc = json.loads(data.decode("utf-8"))
+                assert doc["error"]["code"] == "bad-request"
+            with pytest.raises(ServeError) as excinfo:
+                client.profilez(seconds=999)
+            assert excinfo.value.code == "bad-request"
+
+    def test_profilez_default_window_answers(self, tiny_plan):
+        with BackgroundServer(ServeConfig(port=0),
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            status, data, content_type = client.request(
+                "GET", "/profilez?seconds=0.05")
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            assert parse_collapsed(data.decode("utf-8"))
+
+    def test_obs_top_once_renders_a_live_server(self, tiny_plan, capsys):
+        from repro.cli import main as cli_main
+
+        config = ServeConfig(port=0, history_interval_s=0.05)
+        with BackgroundServer(config,
+                              plan_fn=_counting_plan_fn(tiny_plan)) as bs:
+            client = ServeClient(bs.host, bs.port, retries=0)
+            client.provision([{"n": 12, "d": 2, "max_duty": 0.5}],
+                             include_schedules=False)
+            deadline = time.monotonic() + 20
+            while True:
+                samples = parse_history(client.metrics_history())
+                if len(samples) >= 2 and counter_total(
+                        samples[-1]["snapshot"],
+                        "repro_serve_requests_total") > 0:
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            rc = cli_main(["obs", "top", "--host", bs.host,
+                           "--port", str(bs.port), "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "p99" in out and "breakers" in out
+
+    def test_obs_top_unreachable_server_errors(self, capsys):
+        import socket
+
+        from repro.cli import main as cli_main
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        rc = cli_main(["obs", "top", "--port", str(port), "--once"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -618,3 +618,97 @@ class TestCallTrace:
         assert rc == 4  # nothing listening: the call itself fails
         err = capsys.readouterr().err
         assert "trace_id " in err
+
+
+class TestObsBenchDiff:
+    def _results(self, tmp_path, value, name="results"):
+        results = tmp_path / name
+        results.mkdir()
+        (results / "bench_x.json").write_text(json.dumps({
+            "benchmark": "bench_x", "format": "repro-bench-summary",
+            "version": 1,
+            "results": [{"name": "t", "key": "t", "params": {},
+                         "headline": {"metric": "mean_s", "value": value}}],
+        }))
+        return results
+
+    def test_self_diff_against_history_passes(self, tmp_path, capsys):
+        from repro.obs.bench import append_history
+
+        results = self._results(tmp_path, 0.5)
+        history = tmp_path / "history.jsonl"
+        append_history(results, history, git_sha="sha", recorded_unix=1.0)
+        rc = main(["obs", "bench-diff", "--baseline", str(history),
+                   "--results-dir", str(results)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 compared, 0 regression(s)" in out
+
+    def test_doctored_baseline_exits_one(self, tmp_path, capsys):
+        baseline = self._results(tmp_path, 0.5, name="baseline")
+        current = self._results(tmp_path, 2.0, name="current")
+        rc = main(["obs", "bench-diff", "--baseline", str(baseline),
+                   "--results-dir", str(current)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_json_report_is_machine_readable(self, tmp_path, capsys):
+        baseline = self._results(tmp_path, 0.5, name="baseline")
+        current = self._results(tmp_path, 0.5, name="current")
+        rc = main(["obs", "bench-diff", "--json", "--baseline",
+                   str(baseline), "--results-dir", str(current)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["regressions"] == 0
+
+    def test_per_metric_threshold_flag_tightens_the_gate(self, tmp_path,
+                                                         capsys):
+        baseline = self._results(tmp_path, 0.5, name="baseline")
+        current = self._results(tmp_path, 0.7, name="current")
+        assert main(["obs", "bench-diff", "--baseline", str(baseline),
+                     "--results-dir", str(current)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "bench-diff", "--baseline", str(baseline),
+                     "--results-dir", str(current),
+                     "--threshold-for", "mean_s=1.1"]) == 1
+
+    def test_baseline_is_required(self, tmp_path, capsys):
+        assert main(["obs", "bench-diff",
+                     "--results-dir", str(tmp_path)]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_empty_results_dir_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        history = tmp_path / "history.jsonl"
+        append_args = self._results(tmp_path, 0.5)
+        from repro.obs.bench import append_history
+        append_history(append_args, history, git_sha="s", recorded_unix=1.0)
+        assert main(["obs", "bench-diff", "--baseline", str(history),
+                     "--results-dir", str(empty)]) == 2
+        assert "sidecars" in capsys.readouterr().err
+
+
+class TestSampleProfileFlag:
+    def test_flag_writes_a_parseable_profile(self, tmp_path):
+        from repro.obs.profile import parse_collapsed
+
+        out = tmp_path / "s.json"
+        profile = tmp_path / "build.collapsed"
+        rc = main(["build", "-n", "16", "-d", "3", "--alpha-t", "3",
+                   "--alpha-r", "6", "-o", str(out),
+                   "--sample-profile", str(profile), "--sample-hz", "500"])
+        assert rc == 0
+        assert profile.exists()
+        # A fast command may catch zero samples; the file must still be
+        # valid (possibly empty) collapsed-stack input.
+        parse_collapsed(profile.read_text())
+
+    def test_bad_hz_is_rejected_before_running(self, tmp_path, capsys):
+        profile = tmp_path / "p.collapsed"
+        rc = main(["build", "-n", "12", "-d", "2", "--alpha-t", "2",
+                   "--alpha-r", "4", "-o", str(tmp_path / "s.json"),
+                   "--sample-profile", str(profile), "--sample-hz", "0"])
+        assert rc == 2
+        assert "--sample-hz" in capsys.readouterr().err
+        assert not profile.exists()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Append the current benchmark sidecars to the bench history JSONL.
+
+CI runs this after every benchmark job::
+
+    python tools/bench_history.py --results-dir benchmarks/results \
+        --out benchmarks/results/history.jsonl
+
+Each ``repro-bench-summary`` sidecar under ``--results-dir`` becomes one
+``repro-bench-history`` record (keyed by bench name + git sha, stamped
+with a unix timestamp) appended to ``--out`` — the trajectory ``repro
+obs bench-diff`` gates against.  The sha defaults to ``git rev-parse
+HEAD`` (``unknown`` outside a checkout); override with ``--sha``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs import bench
+except ImportError:  # run from the checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import bench
+
+
+def current_sha() -> str:
+    """``git rev-parse HEAD`` of the working directory, or ``unknown``."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", default="benchmarks/results",
+                        help="directory holding the repro-bench-summary "
+                             "sidecars (default benchmarks/results)")
+    parser.add_argument("--out", default="benchmarks/results/history.jsonl",
+                        help="history JSONL to append to "
+                             "(default benchmarks/results/history.jsonl)")
+    parser.add_argument("--sha", default=None,
+                        help="git sha to stamp on the records "
+                             "(default: git rev-parse HEAD)")
+    args = parser.parse_args(argv)
+    sha = args.sha if args.sha else current_sha()
+    try:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        appended = bench.append_history(args.results_dir, args.out,
+                                        git_sha=sha)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not appended:
+        print(f"error: no {bench.SUMMARY_FORMAT} sidecars under "
+              f"{args.results_dir} (run the benchmarks first)",
+              file=sys.stderr)
+        return 1
+    print(f"appended {appended} record(s) at {sha[:12]} to {args.out}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

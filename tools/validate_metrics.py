@@ -14,10 +14,14 @@ histogram series may also carry ``exemplars``: one entry per bucket
 (null, or an object with numeric ``value`` and a ``trace_id`` that is a
 string or null).
 
-``repro obs slo`` reports (format ``repro-slo``) are validated too —
-:func:`main` dispatches on the document's ``format`` header, so CI runs
-one tool over both artefacts; the unit tests import :func:`validate`
-and :func:`validate_slo` directly.
+``repro obs slo`` reports (format ``repro-slo``), ``GET
+/metrics/history`` payloads (format ``repro-metrics-history``, each
+sample's snapshot validated recursively) and ``repro-bench-history``
+JSONL files (one record per line) are validated too — :func:`main`
+dispatches on the document's ``format`` header (sniffing JSONL for the
+bench history), so CI runs one tool over every artefact; the unit tests
+import :func:`validate`, :func:`validate_slo`,
+:func:`validate_history` and :func:`validate_bench_history` directly.
 
 Exit codes: 0 valid, 1 invalid (problems on stderr), 2 unreadable input.
 """
@@ -33,6 +37,12 @@ EXPECTED_VERSION = 1
 
 SLO_FORMAT = "repro-slo"
 SLO_VERSION = 1
+
+HISTORY_FORMAT = "repro-metrics-history"
+HISTORY_VERSION = 1
+
+BENCH_HISTORY_FORMAT = "repro-bench-history"
+BENCH_HISTORY_VERSION = 1
 
 #: Required members of one ``objectives[i].objective`` sub-document.
 _OBJECTIVE_FIELDS = {"name": str, "kind": str, "metric": str,
@@ -178,11 +188,134 @@ def validate_slo(doc: object) -> list[str]:
     return problems
 
 
+def validate_history(doc: object) -> list[str]:
+    """All violations in a ``repro-metrics-history`` document (the
+    ``GET /metrics/history`` payload); each sample's snapshot is
+    validated with :func:`validate` recursively."""
+    if not isinstance(doc, dict):
+        return [f"history must be a JSON object, got {type(doc).__name__}"]
+    problems: list[str] = []
+    if doc.get("format") != HISTORY_FORMAT:
+        problems.append(f"'format' must be {HISTORY_FORMAT!r}, "
+                        f"got {doc.get('format')!r}")
+    if doc.get("version") != HISTORY_VERSION:
+        problems.append(f"'version' must be {HISTORY_VERSION}, "
+                        f"got {doc.get('version')!r}")
+    capacity = doc.get("capacity")
+    if not isinstance(capacity, int) or isinstance(capacity, bool) \
+            or capacity < 1:
+        problems.append(f"'capacity' must be a positive integer, "
+                        f"got {capacity!r}")
+    if "interval_s" in doc and (
+            not isinstance(doc["interval_s"], (int, float))
+            or isinstance(doc["interval_s"], bool)
+            or doc["interval_s"] <= 0):
+        problems.append(f"'interval_s' must be positive, "
+                        f"got {doc['interval_s']!r}")
+    samples = doc.get("samples")
+    if not isinstance(samples, list):
+        return problems + ["missing 'samples' list"]
+    if isinstance(capacity, int) and not isinstance(capacity, bool) \
+            and len(samples) > max(capacity, 0):
+        problems.append(f"{len(samples)} samples exceed capacity {capacity}")
+    last_t = None
+    for i, sample in enumerate(samples):
+        where = f"samples[{i}]"
+        if not isinstance(sample, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        t = sample.get("t_unix")
+        if not isinstance(t, (int, float)) or isinstance(t, bool):
+            problems.append(f"{where}: missing numeric 't_unix'")
+        else:
+            if last_t is not None and t < last_t:
+                problems.append(f"{where}: t_unix went backwards "
+                                f"({t} < {last_t})")
+            last_t = t
+        problems.extend(f"{where}.snapshot: {p}"
+                        for p in validate(sample.get("snapshot")))
+    return problems
+
+
+def validate_bench_history(records: object) -> list[str]:
+    """All violations in a list of ``repro-bench-history`` records
+    (the parsed lines of ``benchmarks/results/history.jsonl``)."""
+    if not isinstance(records, list):
+        return [f"expected a list of records, got {type(records).__name__}"]
+    problems: list[str] = []
+    for i, record in enumerate(records):
+        where = f"record[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if record.get("format") != BENCH_HISTORY_FORMAT:
+            problems.append(f"{where}: 'format' must be "
+                            f"{BENCH_HISTORY_FORMAT!r}, "
+                            f"got {record.get('format')!r}")
+        if record.get("version") != BENCH_HISTORY_VERSION:
+            problems.append(f"{where}: 'version' must be "
+                            f"{BENCH_HISTORY_VERSION}, "
+                            f"got {record.get('version')!r}")
+        for name, kind in (("bench", str), ("git_sha", str)):
+            if not isinstance(record.get(name), kind):
+                problems.append(f"{where}: missing string {name!r}")
+        recorded = record.get("recorded_unix")
+        if not isinstance(recorded, (int, float)) or isinstance(recorded,
+                                                                bool):
+            problems.append(f"{where}: missing numeric 'recorded_unix'")
+        rows = record.get("results")
+        if not isinstance(rows, list):
+            problems.append(f"{where}: missing 'results' list")
+            continue
+        for j, row in enumerate(rows):
+            spot = f"{where}.results[{j}]"
+            if not isinstance(row, dict):
+                problems.append(f"{spot}: must be an object")
+                continue
+            if not isinstance(row.get("key"), str) or not row["key"]:
+                problems.append(f"{spot}: missing non-empty string 'key'")
+            if not isinstance(row.get("name"), str):
+                problems.append(f"{spot}: missing string 'name'")
+            headline = row.get("headline")
+            if headline is not None:
+                if not isinstance(headline, dict) \
+                        or not isinstance(headline.get("metric"), str) \
+                        or not isinstance(headline.get("value"),
+                                          (int, float)) \
+                        or isinstance(headline.get("value"), bool):
+                    problems.append(f"{spot}: 'headline' must carry a "
+                                    "string 'metric' and numeric 'value'")
+    return problems
+
+
+def _read_bench_history_lines(text: str) -> list | None:
+    """Parse *text* as bench-history JSONL; None when it is not that.
+
+    A file qualifies when every non-blank line is a JSON object and the
+    first one declares the ``repro-bench-history`` format — the sniff
+    :func:`main` uses to route ``history.jsonl`` artefacts.
+    """
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not records and (not isinstance(doc, dict) or
+                            doc.get("format") != BENCH_HISTORY_FORMAT):
+            return None
+        records.append(doc)
+    return records if records else None
+
+
 def main(argv: list[str]) -> int:
     """CLI entry point: validate each path argument; 0 iff all valid.
 
     Dispatches on each document's ``format`` header: ``repro-metrics``
-    snapshots and ``repro-slo`` reports are both accepted.
+    snapshots, ``repro-slo`` reports, ``repro-metrics-history`` payloads
+    and ``repro-bench-history`` JSONL files are all accepted.
     """
     if not argv:
         print("usage: validate_metrics.py SNAPSHOT.json [...]",
@@ -191,21 +324,45 @@ def main(argv: list[str]) -> int:
     code = 0
     for arg in argv:
         try:
-            doc = json.loads(Path(arg).read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            text = Path(arg).read_text()
+        except OSError as exc:
             print(f"{arg}: unreadable: {exc}", file=sys.stderr)
             return 2
-        is_slo = isinstance(doc, dict) and doc.get("format") == SLO_FORMAT
-        problems = validate_slo(doc) if is_slo else validate(doc)
+        bench_records = _read_bench_history_lines(text)
+        if bench_records is not None:
+            problems = validate_bench_history(bench_records)
+            kind = "bench history"
+            summary = (f"valid bench history ({len(bench_records)} "
+                       f"record(s))")
+            doc = None
+        else:
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError as exc:
+                print(f"{arg}: unreadable: {exc}", file=sys.stderr)
+                return 2
+            fmt = doc.get("format") if isinstance(doc, dict) else None
+            if fmt == SLO_FORMAT:
+                problems, kind = validate_slo(doc), "slo"
+            elif fmt == HISTORY_FORMAT:
+                problems, kind = validate_history(doc), "history"
+            else:
+                problems, kind = validate(doc), "snapshot"
         for problem in problems:
             print(f"{arg}: {problem}", file=sys.stderr)
             code = 1
         if problems:
             continue
-        if is_slo:
+        if kind == "slo":
             burned = sum(1 for e in doc["objectives"] if not e.get("ok"))
             print(f"{arg}: valid slo report ({len(doc['objectives'])} "
                   f"objectives, {burned} burned)")
+        elif kind == "history":
+            print(f"{arg}: valid metrics history "
+                  f"({len(doc['samples'])} sample(s), "
+                  f"capacity {doc['capacity']})")
+        elif kind == "bench history":
+            print(f"{arg}: {summary}")
         else:
             counters = sum(len(m.get("series", []))
                            for m in doc["counters"].values())

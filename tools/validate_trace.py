@@ -23,6 +23,11 @@ report``) depends on:
   monotone (``perf_counter`` epochs differ across processes, so the
   check is per-pid by design).
 
+Collapsed-stack profile sidecars (``--sample-profile`` output) often
+land in the same artefact directory and arrive via the same glob; a
+file whose every line is ``frame;frame count`` is recognized, reported
+as skipped, and never fails validation — profiles are not span dumps.
+
 Exit codes: 0 valid, 1 invalid (problems on stderr), 2 unreadable input.
 """
 
@@ -107,6 +112,26 @@ def _graph_errors(spans: list[dict]) -> list[str]:
     return problems
 
 
+def is_collapsed_profile(text: str) -> bool:
+    """Whether *text* is collapsed-stack profiler output, not spans.
+
+    Every non-blank line must be ``stack count`` where the stack holds
+    at least one ``;``-joined frame and the count is a bare integer —
+    a shape no span JSONL line can take (those start with ``{``).
+    Self-contained on purpose: this tool runs without ``PYTHONPATH=src``.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return False
+    for line in lines:
+        if line.lstrip().startswith("{"):
+            return False
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            return False
+    return True
+
+
 def validate_lines(text: str) -> list[str]:
     """Validate a whole JSONL document; problems are line-prefixed."""
     problems: list[str] = []
@@ -147,6 +172,10 @@ def main(argv: list[str]) -> int:
             return 2
     all_spans: list[dict] = []
     for arg, text in texts:
+        if is_collapsed_profile(text):
+            print(f"{arg}: skipped (collapsed-stack profile, not a span "
+                  "dump)")
+            continue
         problems = []
         spans: list[dict] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
